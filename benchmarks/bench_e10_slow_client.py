@@ -1,0 +1,27 @@
+"""E10 — §6: the slow computer, the fencing backstop, and GFS dlocks."""
+
+from benchmarks.conftest import rows_by, run_experiment
+from repro.harness import experiment_e10_slow_client
+
+
+def test_e10_slow_client(benchmark):
+    table, dlock_table = run_experiment(benchmark,
+                                        experiment_e10_slow_client, seed=0)
+    rows = {r["variant"]: r for r in table.as_dicts()}
+    fenced = rows["lease+fence"]
+    unfenced = rows["lease only (no fence)"]
+    # With the fence: the slow client's late flush is denied at the
+    # device; the contender's data survives; the run audits clean.
+    assert fenced["late_flush_denied"] > 0
+    assert fenced["unsync_writes"] == 0
+    assert fenced["contender_data_intact"] == "yes"
+    assert fenced["safe"] == "YES"
+    # Without the fence: the late write lands after the steal —
+    # unsynchronized writers, and the new holder's data is clobbered.
+    assert unfenced["unsync_writes"] > 0
+    assert unfenced["safe"] == "NO"
+
+    # GFS dlocks: availability after a crash tracks the device TTL.
+    for row in dlock_table.as_dicts():
+        assert row["takeover_t"] != "never"
+        assert abs(row["window_s"] - row["dlock_ttl_s"]) < 1.0

@@ -1,0 +1,19 @@
+"""E1 — Fig. 1 / §1.1: the direct-access server moves no file data."""
+
+from benchmarks.conftest import rows_by, run_experiment
+from repro.harness import experiment_e1_direct_access
+
+
+def test_e1_direct_access(benchmark):
+    (table,) = run_experiment(benchmark, experiment_e1_direct_access,
+                              seed=0, duration=30.0)
+    rows = rows_by(table, "data_path")
+    direct, server = rows["direct"], rows["server"]
+    # The paper's architectural claim: zero data bytes at the server.
+    assert direct["server_data_MB"] == 0
+    assert server["server_data_MB"] > 0
+    # Control-network traffic is metadata-sized in direct mode, data-sized
+    # in marshalled mode.
+    assert direct["ctrl_MB"] < server["ctrl_MB"] / 5
+    # Direct mode moves all data on the SAN.
+    assert direct["san_MB"] > 0

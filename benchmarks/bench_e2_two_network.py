@@ -1,0 +1,19 @@
+"""E2 — Fig. 2 / §2: asymmetric two-network partition and availability."""
+
+from benchmarks.conftest import rows_by, run_experiment
+from repro.harness import experiment_e2_two_network
+
+
+def test_e2_two_network(benchmark):
+    (table,) = run_experiment(benchmark, experiment_e2_two_network, seed=0)
+    rows = rows_by(table, "protocol")
+    # Combined views are asymmetric for both runs (it's the same cut).
+    assert rows["no_protocol"]["asym_views"].startswith("yes")
+    assert rows["storage_tank"]["asym_views"].startswith("yes")
+    # Without a safety protocol the file never becomes available.
+    assert rows["no_protocol"]["recovered"] == "no"
+    # With leases, availability returns within ~ detection + tau(1+eps).
+    assert rows["storage_tank"]["recovered"] == "yes"
+    assert float(rows["storage_tank"]["window_s"]) < 60.0
+    # The isolated holder's dirty data reached disk before the steal.
+    assert rows["storage_tank"]["dirty_flushed"] == "yes"

@@ -1,0 +1,29 @@
+"""E3 — §2.1: fencing-only and naive stealing fail; leases do not."""
+
+from benchmarks.conftest import rows_by, run_experiment
+from repro.harness import experiment_e3_fencing_inadequacy
+
+
+def test_e3_fencing_inadequacy(benchmark):
+    (table,) = run_experiment(benchmark, experiment_e3_fencing_inadequacy,
+                              seed=0)
+    rows = rows_by(table, "protocol")
+    # Fencing-only: stranded dirty data and stale reads, but the fence
+    # does prevent unsynchronized writes.
+    f = rows["fencing_only"]
+    assert f["stale_reads"] > 0
+    assert f["silent_lost"] + f["stranded_rep"] > 0
+    assert f["unsync_writes"] == 0
+    assert f["safe"] == "NO"
+    # Naive steal: concurrent writers without synchronization (§1.2).
+    n = rows["naive_steal"]
+    assert n["unsync_writes"] > 0
+    assert n["safe"] == "NO"
+    # Storage Tank: clean on every axis.
+    s = rows["storage_tank"]
+    assert s["silent_lost"] == 0 and s["stranded_rep"] == 0
+    assert s["stale_reads"] == 0 and s["unsync_writes"] == 0
+    assert s["safe"] == "YES"
+    # Recovery cost: the unsafe policies are faster (immediate steal),
+    # the safe one waits the lease period — the paper's trade-off.
+    assert f["takeover_t"] < s["takeover_t"]

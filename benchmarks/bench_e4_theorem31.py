@@ -1,0 +1,18 @@
+"""E4 — Fig. 3 / Theorem 3.1: ordering safety across ε."""
+
+from benchmarks.conftest import run_experiment
+from repro.harness import experiment_e4_theorem31
+
+
+def test_e4_theorem31(benchmark):
+    (table,) = run_experiment(benchmark, experiment_e4_theorem31,
+                              seed=0, trials=2000)
+    for row in table.as_dicts():
+        # The paper's renewal point (message initiation) is always safe.
+        assert row["viol_paper_rule"] == 0
+        assert row["min_margin_paper_s"] >= -1e-6
+    # The ablation (renew at ACK receipt) is unsafe whenever the ACK
+    # delay can exceed what the epsilon slack absorbs.
+    ack_violations = [row["viol_ack_rule"] for row in table.as_dicts()]
+    assert ack_violations[0] > 0  # epsilon = 0: always unsafe
+    assert sum(ack_violations) > 0

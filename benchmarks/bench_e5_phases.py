@@ -1,0 +1,23 @@
+"""E5 — Fig. 4 / §3.2: phase occupancy and the quiesce/flush discipline."""
+
+from benchmarks.conftest import rows_by, run_experiment
+from repro.harness import experiment_e5_lease_phases
+
+
+def test_e5_lease_phases(benchmark):
+    (table,) = run_experiment(benchmark, experiment_e5_lease_phases, seed=0)
+    rows = rows_by(table, "scenario")
+    active, idle, parted = rows["active"], rows["idle"], rows["partitioned"]
+    # "an active client spends virtually all of its time in phase 1"
+    assert active["pct_phase1"] >= 99.0
+    # …and renews for free: zero keep-alives.
+    assert active["keepalives"] == 0
+    # An idle client preserves its cache with occasional keep-alives.
+    assert idle["keepalives"] > 0
+    assert idle["expired"] == 0
+    # A partitioned client walks phases 2-4, quiesces (rejecting new
+    # requests) and flushes everything before expiry.
+    assert parted["expired"] == 1
+    assert parted["ops_rejected"] > 0
+    assert parted["dirty_at_expiry"] == 0
+    assert parted["pct_phase34"] > 0

@@ -1,0 +1,17 @@
+"""E6 — Fig. 5 / §3.3: NACK vs silently ignoring suspect clients."""
+
+from benchmarks.conftest import run_experiment
+from repro.harness import experiment_e6_nack
+
+
+def test_e6_nack(benchmark):
+    (table,) = run_experiment(benchmark, experiment_e6_nack, seed=0)
+    rows = {r["variant"]: r for r in table.as_dicts()}
+    nack = rows["NACK (paper)"]
+    silent = rows["silent ignore"]
+    # The NACK delivers the bad news within about one round-trip.
+    assert nack["learn_delay_s"] < 3.0
+    assert nack["nacks_seen"] >= 1
+    # Ignoring the client "leads to further unnecessary message traffic".
+    assert silent["c1_msgs_after_heal"] > 2 * nack["c1_msgs_after_heal"]
+    assert silent["learn_delay_s"] > nack["learn_delay_s"]

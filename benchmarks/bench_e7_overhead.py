@@ -1,0 +1,40 @@
+"""E7 — §3/§3.1/§7: the zero-overhead headline claim."""
+
+from benchmarks.conftest import run_experiment
+from repro.harness import experiment_e7_overhead
+
+
+def test_e7_overhead(benchmark):
+    (table,) = run_experiment(benchmark, experiment_e7_overhead,
+                              seed=0, duration=120.0)
+    rows = {(r["protocol"], r["activity"]): r for r in table.as_dicts()}
+
+    st_active = rows[("storage_tank", "active")]
+    # "During normal operation, this protocol invokes no message
+    # overhead, and uses no memory and performs no computation at the
+    # locking authority."
+    assert st_active["client_lease_msgs"] == 0
+    assert st_active["server_lease_msgs"] == 0
+    assert st_active["server_lease_cpu"] == 0
+    assert st_active["state_bytes"] == 0
+
+    # Idle clients pay only the occasional keep-alive, nothing server-side.
+    st_idle = rows[("storage_tank", "idle")]
+    assert 0 < st_idle["client_lease_msgs"] <= 20
+    assert st_idle["server_lease_cpu"] == 0
+    assert st_idle["state_bytes"] == 0
+
+    # Frangipani pays state per client and computation per message.
+    fr_active = rows[("frangipani", "active")]
+    assert fr_active["state_bytes"] > 0
+    assert fr_active["server_lease_cpu"] > 100
+    assert fr_active["client_lease_msgs"] > 0
+
+    # V leases pay state per object and per-object renewals.
+    vl_active = rows[("vleases", "active")]
+    assert vl_active["state_bytes"] > 0
+    assert vl_active["client_lease_msgs"] > st_idle["client_lease_msgs"]
+
+    # NFS polls proportionally to activity.
+    nfs = rows[("nfs", "active")]
+    assert nfs["client_lease_msgs"] > 100

@@ -1,0 +1,23 @@
+"""E8 — §4: renewal traffic scaling with cached objects."""
+
+from benchmarks.conftest import run_experiment
+from repro.harness import experiment_e8_vlease_scaling
+
+
+def test_e8_vlease_scaling(benchmark):
+    (table,) = run_experiment(benchmark, experiment_e8_vlease_scaling,
+                              seed=0, duration=60.0,
+                              object_counts=(1, 5, 20, 100))
+    rows = table.as_dicts()
+    st_msgs = [r["storage_tank_msgs"] for r in rows]
+    vl_msgs = [r["vlease_msgs"] for r in rows]
+    # Storage Tank: one lease per server — renewal cost independent of
+    # the number of cached objects.
+    assert max(st_msgs) <= min(st_msgs) + 2
+    # V leases: renewal cost grows linearly with objects.
+    assert vl_msgs[-1] > vl_msgs[0] * 20
+    ratio_100 = rows[-1]["ratio"]
+    assert ratio_100 > 50
+    # Server state follows the same pattern.
+    assert all(r["st_state_B"] == 0 for r in rows)
+    assert rows[-1]["vl_state_B"] > rows[0]["vl_state_B"] * 20

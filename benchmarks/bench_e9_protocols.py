@@ -1,0 +1,48 @@
+"""E9 — §5: protocol comparison across installation sizes."""
+
+from benchmarks.conftest import run_experiment
+from repro.harness import experiment_e9_protocol_comparison
+
+
+def test_e9_protocol_comparison(benchmark):
+    table, scoreboard = run_experiment(benchmark,
+                                       experiment_e9_protocol_comparison,
+                                       seed=0, duration=60.0,
+                                       client_counts=(2, 4, 8))
+    rows = {(r["protocol"], r["clients"]): r for r in table.as_dicts()}
+
+    for n in (2, 4, 8):
+        st = rows[("storage_tank", n)]
+        fr = rows[("frangipani", n)]
+        vl = rows[("vleases", n)]
+        nfs = rows[("nfs", n)]
+        # Storage Tank: near-zero lease traffic, zero state, coherent.
+        assert st["state_bytes"] == 0
+        assert st["lease_cpu"] == 0
+        assert st["coherent"] == "yes"
+        assert st["lease_msgs"] <= fr["lease_msgs"]
+        # Frangipani state grows with clients.
+        assert fr["state_bytes"] == 48 * n
+        # V leases carry per-object state and the most renewal traffic.
+        assert vl["state_bytes"] > 0
+        assert vl["lease_msgs"] > st["lease_msgs"]
+        # NFS stays stateless but is allowed to be incoherent.
+        assert nfs["state_bytes"] == 0
+
+    # Frangipani heartbeat traffic scales with the client count.
+    assert rows[("frangipani", 8)]["lease_msgs"] > \
+        rows[("frangipani", 2)]["lease_msgs"] * 2
+    # Somewhere, NFS actually got caught serving stale data.
+    assert any(rows[("nfs", n)]["stale_reads"] > 0 for n in (2, 4, 8))
+
+    # E9b scoreboard: the paper's argument in one table.
+    sb = {r["protocol"]: r for r in scoreboard.as_dicts()}
+    assert sb["storage_tank"]["verdict"] == "SAFE"
+    assert sb["storage_tank"]["window_s"] != "never"
+    assert sb["no_protocol"]["window_s"] == "never"
+    assert sb["naive_steal"]["verdict"] == "UNSAFE"
+    assert sb["naive_steal"]["multi_writer"] > 0
+    assert sb["fencing_only"]["verdict"] == "UNSAFE"
+    assert sb["nfs"]["stale_reads"] > 0
+    # The unsafe policies are the fast ones — the trade is real.
+    assert sb["naive_steal"]["window_s"] < sb["storage_tank"]["window_s"]

@@ -1,0 +1,68 @@
+"""Infrastructure micro-benchmarks: simulator and transport throughput.
+
+Not a paper table — these keep the substrate honest: experiment wall
+times are dominated by kernel event dispatch and endpoint round-trips,
+so regressions here silently slow every E/A run.  The guides' rule:
+no optimization without measurement — this is the measurement.
+"""
+
+from repro.net import ControlNetwork, Endpoint
+from repro.sim import ClockEnsemble, RandomStreams, Simulator
+
+
+def _spin_timeouts(n: int) -> float:
+    sim = Simulator()
+
+    def ticker():
+        for _ in range(n):
+            yield sim.timeout(0.001)
+    sim.process(ticker())
+    sim.run()
+    return sim.now
+
+
+def test_kernel_event_throughput(benchmark):
+    """Dispatch rate for the bare event loop (timeout-resume cycles)."""
+    n = 20_000
+    benchmark(_spin_timeouts, n)
+
+
+def _spin_processes(n_procs: int, n_each: int) -> None:
+    sim = Simulator()
+
+    def worker():
+        for _ in range(n_each):
+            yield sim.timeout(0.01)
+    for _ in range(n_procs):
+        sim.process(worker())
+    sim.run()
+
+
+def test_kernel_concurrent_processes(benchmark):
+    """Interleaved scheduling across many processes."""
+    benchmark(_spin_processes, 200, 100)
+
+
+def _spin_rpcs(n: int) -> int:
+    sim = Simulator()
+    streams = RandomStreams(1)
+    net = ControlNetwork(sim, streams)
+    ens = ClockEnsemble(0.0, streams)
+    server = Endpoint(sim, net, "server", ens.create("server"))
+    client = Endpoint(sim, net, "client", ens.create("client"))
+    server.register("fs.getattr", lambda m: ("ack", {}))
+    done = [0]
+
+    def caller():
+        for _ in range(n):
+            yield from client.request("server", "fs.getattr", {})
+            done[0] += 1
+    sim.process(caller())
+    sim.run()
+    assert done[0] == n
+    return done[0]
+
+
+def test_endpoint_rpc_throughput(benchmark):
+    """Full request→handler→ACK round-trips per second."""
+    benchmark(_spin_rpcs, 2_000)

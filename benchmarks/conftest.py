@@ -1,0 +1,30 @@
+"""Benchmark helpers.
+
+Each benchmark runs one experiment (a multi-second simulated scenario)
+once per round, prints the regenerated table(s) and asserts the *shape*
+the paper predicts — who wins, what is zero, what fails.  Wall-clock
+timing comes from pytest-benchmark; absolute numbers are not compared
+to the paper (which reported none).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List
+
+from repro.analysis.report import Table
+
+
+def run_experiment(benchmark, fn: Callable[..., Any], **kwargs) -> List[Table]:
+    """Execute the experiment under the benchmark timer and print output."""
+    result = benchmark.pedantic(lambda: fn(**kwargs), rounds=1, iterations=1)
+    tables = result if isinstance(result, list) else [result]
+    for t in tables:
+        print()
+        print(t)
+    return tables
+
+
+def rows_by(table: Table, key_col: str):
+    """Index a table's rows by one column's value."""
+    idx = table.columns.index(key_col)
+    return {row[idx]: dict(zip(table.columns, row)) for row in table.rows}

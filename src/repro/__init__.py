@@ -1,0 +1,50 @@
+"""repro — reproduction of *Safe Caching in a Distributed File System for
+Network Attached Storage* (Burns, Rees & Long, IPPS 2000).
+
+The package implements the Storage Tank lease-based safety protocol and
+every substrate it depends on — a deterministic discrete-event simulator,
+a two-network (control network + SAN) fabric, shared block storage with
+fencing, a metadata/lock server and write-back caching clients — together
+with the comparison protocols the paper discusses (V-system per-object
+leases, Frangipani-style heartbeat leases, NFS attribute polling, naive
+lock stealing, fencing-only recovery and GFS-style disk ``dlock``).
+
+Public entry points
+-------------------
+:class:`repro.core.SystemConfig`, :func:`repro.core.build_system`
+    Assemble a complete simulated Storage Tank installation.
+:mod:`repro.harness`
+    Experiment registry regenerating every figure/claim in the paper.
+:mod:`repro.analysis`
+    Consistency audit and metric reporting.
+"""
+
+from repro._version import __version__
+
+__all__ = [
+    "__version__",
+    "SystemConfig",
+    "LeaseConfig",
+    "NetworkConfig",
+    "WorkloadConfig",
+    "build_system",
+    "StorageTankSystem",
+]
+
+_CORE_EXPORTS = {
+    "SystemConfig",
+    "LeaseConfig",
+    "NetworkConfig",
+    "WorkloadConfig",
+    "build_system",
+    "StorageTankSystem",
+}
+
+
+def __getattr__(name: str):
+    """Lazily re-export the high-level API from :mod:`repro.core`."""
+    if name in _CORE_EXPORTS:
+        from repro import core
+
+        return getattr(core, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,85 @@
+"""Overhead metric collection for protocol comparisons (E7/E9)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional
+
+from repro.core.system import StorageTankSystem
+from repro.sim.events import Event
+
+
+@dataclass
+class MetricSeries:
+    """A sampled time series of one counter."""
+
+    name: str
+    times: List[float] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    def append(self, t: float, v: float) -> None:
+        """Record one sample."""
+        self.times.append(t)
+        self.values.append(v)
+
+    @property
+    def peak(self) -> float:
+        """Largest observed value."""
+        return max(self.values) if self.values else 0.0
+
+    @property
+    def final(self) -> float:
+        """Last observed value."""
+        return self.values[-1] if self.values else 0.0
+
+    def mean(self) -> float:
+        """Unweighted mean of samples."""
+        return sum(self.values) / len(self.values) if self.values else 0.0
+
+
+def sample_state_bytes(system: StorageTankSystem, interval: float,
+                       series: MetricSeries):
+    """A process sampling the authority's lease-state footprint."""
+
+    def run() -> Generator[Event, Any, None]:
+        while True:
+            series.append(system.sim.now, system.server.authority.state_bytes())
+            yield system.sim.timeout(interval)
+    return system.spawn(run(), "sampler:state_bytes")
+
+
+def collect_overheads(system: StorageTankSystem) -> Dict[str, float]:
+    """Protocol-overhead summary for one finished run.
+
+    ``lease_msgs_client`` counts client-initiated lease-maintenance
+    messages (keep-alives, per-object renewals, heartbeats, attribute
+    polls) from the nodes' own send counters; ``lease_msgs_server``
+    counts authority-initiated lease traffic (NACKs);
+    ``lease_cpu_server`` the authority's lease computations;
+    ``state_bytes_now`` its current memory footprint.
+    """
+    client_msgs = 0
+    for client in system.clients.values():
+        client_msgs += getattr(client, "keepalives_sent", 0)
+        client_msgs += getattr(client, "polls_sent", 0)
+    for agent in system.agents.values():
+        client_msgs += getattr(agent, "heartbeats_sent", 0)
+        client_msgs += getattr(agent, "renewals_sent", 0)
+    auth = system.server.authority
+    out: Dict[str, float] = {
+        "lease_msgs_client": float(client_msgs),
+        "lease_msgs_server": float(auth.lease_msgs_sent),
+        "lease_cpu_server": float(auth.lease_cpu_ops),
+        "state_bytes_now": float(auth.state_bytes()),
+        "server_transactions": float(system.server.transactions),
+        "ctrl_messages": float(system.control_net.delivered_count),
+    }
+    for name, client in system.clients.items():
+        ka = getattr(client, "keepalives_sent", 0)
+        out[f"{name}_keepalives"] = float(ka)
+    for name, agent in system.agents.items():
+        if hasattr(agent, "heartbeats_sent"):
+            out[f"{name}_heartbeats"] = float(agent.heartbeats_sent)
+        if hasattr(agent, "renewals_sent"):
+            out[f"{name}_renewals"] = float(agent.renewals_sent)
+    return out

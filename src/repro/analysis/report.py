@@ -1,0 +1,67 @@
+"""ASCII tables for experiment output."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+
+def _fmt(v: Any) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000 or (abs(v) < 0.01 and v != 0):
+            return f"{v:.3g}"
+        return f"{v:.3f}".rstrip("0").rstrip(".")
+    return str(v)
+
+
+@dataclass
+class Table:
+    """A titled rows-and-columns result, printable and inspectable."""
+
+    title: str
+    columns: List[str]
+    rows: List[List[Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        """Append one row (must match the column count)."""
+        if len(values) != len(self.columns):
+            raise ValueError(f"expected {len(self.columns)} values, "
+                             f"got {len(values)}")
+        self.rows.append(list(values))
+
+    def note(self, text: str) -> None:
+        """Attach a footnote."""
+        self.notes.append(text)
+
+    def column(self, name: str) -> List[Any]:
+        """Extract one column's values."""
+        idx = self.columns.index(name)
+        return [r[idx] for r in self.rows]
+
+    def as_dicts(self) -> List[Dict[str, Any]]:
+        """Rows as dictionaries."""
+        return [dict(zip(self.columns, r)) for r in self.rows]
+
+    def __str__(self) -> str:
+        return format_table(self)
+
+
+def format_table(table: Table) -> str:
+    """Render a :class:`Table` as aligned monospace text."""
+    cells = [[_fmt(c) for c in row] for row in table.rows]
+    widths = [len(c) for c in table.columns]
+    for row in cells:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [table.title, "=" * max(len(table.title), len(sep))]
+    lines.append(" | ".join(c.ljust(w) for c, w in zip(table.columns, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    for n in table.notes:
+        lines.append(f"  * {n}")
+    return "\n".join(lines)

@@ -1,0 +1,136 @@
+"""ASCII timelines of lease phases and protocol events.
+
+Renders a run's trace as a per-node Gantt strip — the quickest way to
+*see* the paper's Figure 4 actually happening:
+
+    c1      111111111111112222333344XXXXXXXX..........
+    server  ......................S...............T...
+            0s        10s       20s       30s
+
+Phase digits are the client's lease phases (1-4), ``X`` is expired,
+``.`` is pre-activation/idle; server rows mark ``S``\\ uspect timers
+starting and ``T``\\ (steal) firing.  Fault injections show as ``!``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.system import StorageTankSystem
+from repro.lease.phases import LeasePhase
+
+_PHASE_CHAR = {1: "1", 2: "2", 3: "3", 4: "4", 5: "X"}
+
+
+@dataclass(frozen=True)
+class TimelineConfig:
+    """Rendering knobs."""
+
+    width: int = 72
+    start: Optional[float] = None
+    end: Optional[float] = None
+
+
+def _column(t: float, start: float, end: float, width: int) -> int:
+    if end <= start:
+        return 0
+    frac = (t - start) / (end - start)
+    return min(width - 1, max(0, int(frac * width)))
+
+
+def render_lease_timeline(system: StorageTankSystem,
+                          config: Optional[TimelineConfig] = None) -> str:
+    """Render the run's lease activity as an ASCII strip chart."""
+    cfg = config or TimelineConfig()
+    records = system.trace.records
+    if not records:
+        return "(empty trace)"
+    start = cfg.start if cfg.start is not None else 0.0
+    end = cfg.end if cfg.end is not None else max(r.time for r in records)
+    if end <= start:
+        end = start + 1.0
+    width = cfg.width
+
+    client_rows: Dict[str, List[str]] = {}
+    server_rows: Dict[str, List[str]] = {}
+
+    def client_row(name: str) -> List[str]:
+        return client_rows.setdefault(name, ["."] * width)
+
+    def server_row(name: str) -> List[str]:
+        return server_rows.setdefault(name, ["."] * width)
+
+    # Phase strips: fill forward from each lease.phase transition.
+    transitions: Dict[str, List[Tuple[float, int]]] = {}
+    for rec in records:
+        if rec.kind == "lease.phase":
+            transitions.setdefault(rec.node, []).append(
+                (rec.time, int(rec.get("phase"))))
+        elif rec.kind == "lease.expire":
+            transitions.setdefault(rec.node, []).append((rec.time, 5))
+        elif rec.kind == "lease.renewed":
+            # Renewal while expired-probing pulls the strip back to 1.
+            transitions.setdefault(rec.node, []).append((rec.time, 1))
+    for node, trans in transitions.items():
+        row = client_row(node)
+        trans.sort()
+        for i, (t, phase) in enumerate(trans):
+            if t > end:
+                break  # outside the rendering window
+            t_next = trans[i + 1][0] if i + 1 < len(trans) else end
+            if t_next < start:
+                continue  # segment entirely before the window
+            c0 = 0 if t < start else _column(t, start, end, width)
+            c1 = width if t_next >= end else _column(t_next, start, end, width)
+            for c in range(c0, max(c1, c0 + 1)):
+                row[c] = _PHASE_CHAR.get(phase, "?")
+
+    # Point events (only inside the window).  Two passes so that a steal
+    # sharing a column with its fence still shows as "T".
+    for rec in records:
+        if not (start <= rec.time <= end):
+            continue
+        if rec.kind == "lease.suspect":
+            server_row(rec.node)[_column(rec.time, start, end, width)] = "S"
+        elif rec.kind == "server.fence":
+            server_row(rec.node)[_column(rec.time, start, end, width)] = "F"
+        elif rec.kind == "fault.inject":
+            for row in list(client_rows.values()) + list(server_rows.values()):
+                col = _column(rec.time, start, end, width)
+                if row[col] == ".":
+                    row[col] = "!"
+    for rec in records:
+        if rec.kind == "lease.steal" and start <= rec.time <= end:
+            server_row(rec.node)[_column(rec.time, start, end, width)] = "T"
+
+    name_w = max((len(n) for n in list(client_rows) + list(server_rows)),
+                 default=6) + 2
+    lines = []
+    for name in sorted(client_rows):
+        lines.append(name.ljust(name_w) + "".join(client_rows[name]))
+    for name in sorted(server_rows):
+        lines.append(name.ljust(name_w) + "".join(server_rows[name]))
+    axis = (" " * name_w + f"{start:.0f}s".ljust(width // 2)
+            + f"{end:.0f}s".rjust(width - width // 2))
+    lines.append(axis)
+    legend = (" " * name_w
+              + "1-4: lease phases  X: expired  S: suspect timer  "
+              + "T: steal  F: fence  !: fault")
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def phase_occupancy(system: StorageTankSystem, client: str,
+                    ) -> Dict[LeasePhase, float]:
+    """Fraction of the run each phase occupied for one client (requires
+    the client's lease manager accounting)."""
+    node = system.client(client)
+    lease = getattr(node, "lease", None)
+    if lease is None:
+        return {}
+    lease.finalize_accounting()
+    total = sum(lease.phase_time.values())
+    if total <= 0:
+        return {p: 0.0 for p in LeasePhase}
+    return {p: lease.phase_time[p] / total for p in LeasePhase}

@@ -1,0 +1,890 @@
+"""The Storage Tank client node.
+
+Combines the page cache, cached locks, open-file table and the
+four-phase lease state machine into the POSIX-flavoured API local
+applications call.  All methods that touch the network or the SAN are
+process generators (``yield from client.read(...)``).
+
+Failure semantics the audit relies on:
+
+- every application write that is acknowledged gets a unique *tag* and
+  an ``app.write.ack`` trace record;
+- a tag either reaches shared storage (``san.write`` + disk history) or
+  the client emits ``app.error`` for it — silent loss is a protocol
+  violation (invariant I2), not an accepted outcome;
+- every application read emits ``app.read`` with the tags it returned,
+  so stale reads are detectable offline (invariant I3).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from repro.client.cache import Page, PageCache
+from repro.client.openfile import FdTable, OpenFile
+from repro.lease.client_lease import ClientLeaseManager, LeaseCallbacks
+from repro.lease.contract import LeaseContract
+from repro.lease.phases import LeasePhase
+from repro.locks.client_table import ClientLockTable
+from repro.locks.modes import LockMode
+from repro.metadata.inode import FileAttributes
+from repro.net.control import ControlNetwork, Endpoint, RetryPolicy
+from repro.net.message import DeliveryError, Message, MsgKind, NackError
+from repro.net.san import SanFabric, SanUnreachableError
+from repro.sim.clock import LocalClock
+from repro.sim.events import Event
+from repro.sim.kernel import Simulator
+from repro.sim.trace import TraceRecorder
+from repro.storage.blockmap import (
+    BLOCK_SIZE,
+    byte_range_to_blocks,
+    extents_from_payload,
+)
+from repro.storage.disk import FencedIoError
+
+
+class ClientQuiescedError(Exception):
+    """The lease is suspect/expired; new requests are not admitted (§3.2)."""
+
+
+class ClientDisconnectedError(Exception):
+    """No valid lease with the server; operation refused."""
+
+
+class ClientIOError(Exception):
+    """A data I/O failed at the SAN (fence or SAN partition) — the EIO
+    the application sees.  Reported, never silent."""
+
+
+@dataclass
+class ClientConfig:
+    """Tunables for one client node."""
+
+    writeback_interval: float = 5.0     # local seconds between write-back scans
+    cache_capacity_pages: int = 65536
+    rpc_timeout: float = 1.0            # local seconds per datagram attempt
+    rpc_retries: int = 3
+    quiesce_behavior: str = "error"     # "error" | "wait" for ops during phases 3+
+    use_leases: bool = True             # False for baseline clients
+    data_path: str = "direct"           # "direct" (SAN) | "server" (function ship)
+    # Metadata is only weakly consistent (paper §3, footnote 1): with a
+    # positive TTL, getattr serves a cached copy for up to that many
+    # local seconds before re-fetching.  0 disables attribute caching.
+    attr_cache_ttl: float = 0.0
+
+
+class StorageTankClient:
+    """One client computer."""
+
+    def __init__(self, sim: Simulator, net: ControlNetwork, san: SanFabric,
+                 name: str, server, clock: LocalClock,
+                 contract: LeaseContract,
+                 config: Optional[ClientConfig] = None,
+                 trace: Optional[TraceRecorder] = None):
+        """``server`` may be one name or a sequence of names: a client
+        must hold a valid lease with *every* server it holds locks from
+        (paper §3), so each server gets its own lease state machine."""
+        self.sim = sim
+        self.san = san
+        self.name = name
+        if isinstance(server, str):
+            self.servers: Tuple[str, ...] = (server,)
+        else:
+            self.servers = tuple(server)
+        if not self.servers:
+            raise ValueError("need at least one server")
+        self.server = self.servers[0]  # primary (routing fallback)
+        self.config = config or ClientConfig()
+        self.trace = trace if trace is not None else net.trace
+        self.contract = contract
+
+        policy = RetryPolicy(timeout=self.config.rpc_timeout,
+                             retries=self.config.rpc_retries)
+        self.endpoint = Endpoint(sim, net, name, clock, trace=self.trace,
+                                 default_policy=policy)
+        san.attach_initiator(name)
+
+        self.cache = PageCache(self.config.cache_capacity_pages)
+        self.locks = ClientLockTable()
+        self.fds = FdTable()
+        self._write_seq = itertools.count(1)
+        self._in_flight = 0
+        self._drained: Event = sim.event()
+        self._drained.succeed()
+        self._quiesced = False
+        self._resume_ev: Event = sim.event()
+        # Lock pinning: a demand compliance must not release a lock out
+        # from under an operation that already validated it (TOCTOU).
+        self._file_inflight: Dict[int, int] = {}
+        self._file_drain_evs: Dict[int, Event] = {}
+        self._revoking: set = set()
+
+        # Application-visible counters.
+        self.ops_completed = 0
+        self.ops_rejected = 0
+        self.app_errors = 0
+        self.keepalives_sent = 0
+        self.reasserts_sent = 0
+
+        # §6 server recovery: every server ACK carries an epoch; a change
+        # means that server restarted and lost its lock table — reassert.
+        self._server_epoch: Dict[str, int] = {}
+        self.endpoint.ack_listeners.append(self._on_epoch)
+
+        # file_id -> owning server (populated at create/open).
+        self._file_server: Dict[int, str] = {}
+        # Weakly consistent attribute cache: path -> (attrs, local fetch time).
+        self._attr_cache: Dict[str, Tuple[FileAttributes, float]] = {}
+        self.attr_cache_hits = 0
+
+        self.leases: Dict[str, ClientLeaseManager] = {}
+        if self.config.use_leases:
+            for srv in self.servers:
+                self.leases[srv] = ClientLeaseManager(
+                    sim, self.endpoint, srv, contract,
+                    callbacks=LeaseCallbacks(
+                        send_keepalive=self._keepalive_sender(srv),
+                        on_enter_suspect=self._quiesce,
+                        on_enter_flush=self._flush_all_spawner(srv),
+                        on_expired=self._expiry_handler(srv),
+                        on_resume_service=self._unquiesce,
+                        on_reconnected=self._unquiesce,
+                    ),
+                    trace=self.trace)
+            self.endpoint.ack_listeners.append(self._on_ack_renew)
+            self.endpoint.nack_listeners.append(self._on_nack)
+
+        # Server-initiated requests.
+        self.endpoint.register(MsgKind.LOCK_DEMAND, self._on_lock_demand)
+        # Range demands are liveness probes: holders release as part of
+        # the operation itself, so acknowledging receipt is the protocol.
+        self.endpoint.register(MsgKind.RANGE_DEMAND, lambda m: ("ack", {}))
+        self.endpoint.register(MsgKind.CACHE_INVALIDATE, self._on_cache_invalidate)
+
+        # Optional external admission gate (baseline agents install one:
+        # e.g. Frangipani checks its heartbeat lease before every op).
+        self.admission_check = None
+
+        self._writeback_proc = sim.process(self._writeback_daemon(),
+                                           name=f"{name}:writeback")
+
+    # ------------------------------------------------------------------
+    # application API (process generators)
+    # ------------------------------------------------------------------
+    def create(self, path: str, size: int = 0) -> Generator[Event, Any, int]:
+        """Create a file on its owning server; returns its file id."""
+        srv = self.server_for_path(path)
+        yield from self._admit(srv)
+        self._enter()
+        try:
+            reply = yield from self._rpc(MsgKind.CREATE,
+                                         {"path": path, "size": size}, srv)
+            fid = int(reply.payload["file_id"])
+            self._file_server[fid] = srv
+            return fid
+        finally:
+            self._exit()
+
+    def open_file(self, path: str, mode: str = "r") -> Generator[Event, Any, int]:
+        """Open a file, acquiring its data lock; returns a descriptor."""
+        if mode not in ("r", "w"):
+            raise ValueError(f"mode must be 'r' or 'w', got {mode!r}")
+        srv = self.server_for_path(path)
+        yield from self._admit(srv)
+        self._enter()
+        try:
+            reply = yield from self._rpc(MsgKind.OPEN,
+                                         {"path": path, "mode": mode}, srv)
+            p = reply.payload
+            attrs = FileAttributes.from_payload(p["attrs"])
+            extents = extents_from_payload(p["extents"])
+            lock = LockMode(int(p["lock"]))
+            fid = int(p["file_id"])
+            self._file_server[fid] = srv
+            self.locks.note_granted(fid, lock)
+            of = self.fds.install(path, fid, mode, attrs, extents, lock,
+                                  server=srv)
+            self.ops_completed += 1
+            return of.fd
+        finally:
+            self._exit()
+
+    def read(self, fd: int, offset: int, nbytes: int,
+             ) -> Generator[Event, Any, List[Tuple[int, Optional[str]]]]:
+        """Read a byte range; returns ``(logical_block, tag)`` pairs.
+
+        Serves from cache under a SHARED-or-better lock; misses go
+        directly to the SAN.
+        """
+        of = self.fds.get(fd)
+        yield from self._admit(of.server)
+        self._enter()
+        pinned = False
+        try:
+            yield from self._ensure_lock(of, LockMode.SHARED)
+            self._pin_file(of.file_id)
+            pinned = True
+            first, count = byte_range_to_blocks(offset, nbytes)
+            out: List[Tuple[int, Optional[str]]] = []
+            missing: List[int] = []
+            for lb in range(first, first + count):
+                page = self.cache.get(of.file_id, lb)
+                if page is not None:
+                    out.append((lb, page.tag))
+                else:
+                    missing.append(lb)
+            if missing:
+                fetched = yield from self._fetch_blocks(of, missing)
+                out.extend(fetched)
+            out.sort(key=lambda t: t[0])
+            for lb, tag in out:
+                device, lba = of.resolve(lb)
+                self.trace.emit(self.sim.now, "app.read", self.name,
+                                file_id=of.file_id, block=lb, tag=tag,
+                                device=device, lba=lba)
+            self.ops_completed += 1
+            return out
+        finally:
+            if pinned:
+                self._unpin_file(of.file_id)
+            self._exit()
+
+    def write(self, fd: int, offset: int, nbytes: int,
+              ) -> Generator[Event, Any, str]:
+        """Write a byte range into the cache (write-back); returns the tag.
+
+        The acknowledgment to the application happens when this returns
+        — durability is the write-back machinery's job, and losing the
+        tag silently afterwards is an audit violation.
+        """
+        of = self.fds.get(fd)
+        yield from self._admit(of.server)
+        if of.mode != "w":
+            raise PermissionError(f"fd {fd} not open for writing")
+        self._enter()
+        pinned = False
+        try:
+            yield from self._ensure_lock(of, LockMode.EXCLUSIVE)
+            self._pin_file(of.file_id)
+            pinned = True
+            end = offset + nbytes
+            if end > of.extents.size_bytes:
+                reply = yield from self._rpc(MsgKind.SETATTR,
+                                             {"file_id": of.file_id, "size": end},
+                                             of.server)
+                of.attrs = FileAttributes.from_payload(reply.payload["attrs"])
+                of.extents = extents_from_payload(reply.payload["extents"])
+            tag = f"{self.name}:w{next(self._write_seq)}"
+            first, count = byte_range_to_blocks(offset, nbytes)
+            phys = []
+            for lb in range(first, first + count):
+                device, lba = of.resolve(lb)
+                self.cache.write_dirty(of.file_id, lb, device, lba, tag)
+                phys.append((device, lba))
+            self.trace.emit(self.sim.now, "app.write.ack", self.name,
+                            file_id=of.file_id, tag=tag,
+                            blocks=list(range(first, first + count)),
+                            phys=phys)
+            self.ops_completed += 1
+            return tag
+        finally:
+            if pinned:
+                self._unpin_file(of.file_id)
+            self._exit()
+
+    def flush(self, fd: Optional[int] = None) -> Generator[Event, Any, int]:
+        """Write dirty pages (of one file, or all) to the SAN; returns the
+        number of pages hardened."""
+        file_id = self.fds.get(fd).file_id if fd is not None else None
+        return (yield from self._flush_dirty(file_id))
+
+    def close(self, fd: int) -> Generator[Event, Any, None]:
+        """Close a descriptor.  Flushes that file's dirty pages first;
+        the data lock stays cached (lock caching, §3.1)."""
+        of = self.fds.get(fd)
+        yield from self._flush_dirty(of.file_id)
+        self._enter()
+        try:
+            try:
+                yield from self._rpc(MsgKind.CLOSE, {"file_id": of.file_id},
+                                     of.server)
+            except (DeliveryError, NackError):
+                pass  # close is advisory; lease machinery handles the failure
+            self.fds.close(fd)
+            self.ops_completed += 1
+        finally:
+            self._exit()
+
+    def read_range_locked(self, fd: int, offset: int, nbytes: int,
+                          ) -> Generator[Event, Any, List[Tuple[int, Optional[str]]]]:
+        """Read under a SHARED byte-range lock (sub-file sharing).
+
+        Acquire→I/O→release: the range lock is held only for the
+        duration of the operation and the data is read from the SAN, so
+        concurrent writers of *other* ranges proceed in parallel.  The
+        open instance needs no whole-file lock (`open_file` with
+        ``mode='r'`` still takes S; use this for files opened by a
+        range-locking application).
+        """
+        of = self.fds.get(fd)
+        yield from self._admit(of.server)
+        self._enter()
+        try:
+            yield from self._rpc(MsgKind.RANGE_ACQUIRE,
+                                 {"file_id": of.file_id, "start": offset,
+                                  "end": offset + nbytes,
+                                  "mode": int(LockMode.SHARED)}, of.server)
+            try:
+                first, count = byte_range_to_blocks(offset, nbytes)
+                out = yield from self._fetch_blocks(
+                    of, list(range(first, first + count)))
+                for lb, tag in out:
+                    device, lba = of.resolve(lb)
+                    self.trace.emit(self.sim.now, "app.read", self.name,
+                                    file_id=of.file_id, block=lb, tag=tag,
+                                    device=device, lba=lba)
+                self.ops_completed += 1
+                return sorted(out)
+            finally:
+                yield from self._rpc(MsgKind.RANGE_RELEASE,
+                                     {"file_id": of.file_id, "start": offset,
+                                      "end": offset + nbytes}, of.server)
+        finally:
+            self._exit()
+
+    def write_range_locked(self, fd: int, offset: int, nbytes: int,
+                           ) -> Generator[Event, Any, str]:
+        """Write under an EXCLUSIVE byte-range lock, write-*through*.
+
+        The data is hardened to the SAN before the range lock is
+        released, so the lock hand-off is also the visibility hand-off —
+        no write-back state outlives the lock.
+        """
+        of = self.fds.get(fd)
+        yield from self._admit(of.server)
+        self._enter()
+        try:
+            yield from self._rpc(MsgKind.RANGE_ACQUIRE,
+                                 {"file_id": of.file_id, "start": offset,
+                                  "end": offset + nbytes,
+                                  "mode": int(LockMode.EXCLUSIVE)}, of.server)
+            try:
+                tag = f"{self.name}:w{next(self._write_seq)}"
+                first, count = byte_range_to_blocks(offset, nbytes)
+                by_device: Dict[str, Dict[int, str]] = {}
+                phys = []
+                for lb in range(first, first + count):
+                    device, lba = of.resolve(lb)
+                    by_device.setdefault(device, {})[lba] = tag
+                    phys.append((device, lba))
+                for device, block_tags in by_device.items():
+                    yield from self.san.write(self.name, device, block_tags)
+                self.trace.emit(self.sim.now, "app.write.ack", self.name,
+                                file_id=of.file_id, tag=tag,
+                                blocks=list(range(first, first + count)),
+                                phys=phys)
+                self.ops_completed += 1
+                return tag
+            finally:
+                yield from self._rpc(MsgKind.RANGE_RELEASE,
+                                     {"file_id": of.file_id, "start": offset,
+                                      "end": offset + nbytes}, of.server)
+        finally:
+            self._exit()
+
+    def unlink(self, path: str) -> Generator[Event, Any, None]:
+        """Remove a file.  The server demands the data lock from any
+        cacher first; this client's own pages and lock are dropped."""
+        srv = self.server_for_path(path)
+        yield from self._admit(srv)
+        self._enter()
+        try:
+            reply = yield from self._rpc(MsgKind.UNLINK, {"path": path}, srv)
+            fid = int(reply.payload["file_id"])
+            self.cache.invalidate_file(fid)
+            self.locks.note_released(fid)
+            self._file_server.pop(fid, None)
+            for of in self.fds.by_file_id(fid):
+                of.stale = True
+                of.lock = LockMode.NONE
+            self.ops_completed += 1
+        finally:
+            self._exit()
+
+    def readdir(self, path: str = "/") -> Generator[Event, Any, List[str]]:
+        """List entries under a directory (single-server namespaces; on
+        clusters this lists the primary server's slice)."""
+        srv = self.server_for_path(path) if len(self.servers) == 1 else self.server
+        yield from self._admit(srv)
+        self._enter()
+        try:
+            reply = yield from self._rpc(MsgKind.READDIR, {"path": path}, srv)
+            self.ops_completed += 1
+            return list(reply.payload["entries"])
+        finally:
+            self._exit()
+
+    def getattr(self, path: str) -> Generator[Event, Any, FileAttributes]:
+        """Fetch a file's attributes from its owning server.
+
+        With ``attr_cache_ttl > 0`` a cached copy may be served — the
+        weak metadata consistency the paper allows (footnote 1):
+        modifications propagate eventually, never instantaneously.
+        """
+        srv = self.server_for_path(path)
+        ttl = self.config.attr_cache_ttl
+        if ttl > 0:
+            cached = self._attr_cache.get(path)
+            if cached is not None and                     self.endpoint.local_now() - cached[1] < ttl:
+                lease = self.leases.get(srv)
+                if lease is None or lease.phase().cache_usable:
+                    self.attr_cache_hits += 1
+                    self.ops_completed += 1
+                    return cached[0]
+        yield from self._admit(srv)
+        self._enter()
+        try:
+            reply = yield from self._rpc(MsgKind.GETATTR, {"path": path}, srv)
+            self.ops_completed += 1
+            attrs = FileAttributes.from_payload(reply.payload["attrs"])
+            if ttl > 0:
+                self._attr_cache[path] = (attrs, self.endpoint.local_now())
+            return attrs
+        finally:
+            self._exit()
+
+    # -- introspection ------------------------------------------------------
+    @property
+    def lease(self) -> Optional[ClientLeaseManager]:
+        """Lease manager for the primary server (None when disabled)."""
+        return self.leases.get(self.server)
+
+    def lease_for(self, server: str) -> Optional[ClientLeaseManager]:
+        """Lease manager for a specific server."""
+        return self.leases.get(server)
+
+    @property
+    def phase(self) -> LeasePhase:
+        """Current primary-lease phase (VALID when leases are disabled)."""
+        lease = self.lease
+        return lease.phase() if lease else LeasePhase.VALID
+
+    @property
+    def connected(self) -> bool:
+        """Whether a valid primary lease is held (True without leases)."""
+        lease = self.lease
+        return lease.active if lease else True
+
+    # -- routing ---------------------------------------------------------
+    def server_for_path(self, path: str) -> str:
+        """The metadata server owning a path (stable hash routing)."""
+        if len(self.servers) == 1:
+            return self.servers[0]
+        from repro.sim.rng import _stable_hash
+        return self.servers[_stable_hash(path) % len(self.servers)]
+
+    def server_for_file(self, file_id: int) -> str:
+        """The server owning a file id (primary if unknown)."""
+        return self._file_server.get(file_id, self.server)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _rpc(self, kind: str, payload: Dict[str, Any],
+             server: Optional[str] = None) -> Generator[Event, Any, Message]:
+        return (yield from self.endpoint.request(server or self.server,
+                                                 kind, payload))
+
+    def _on_ack_renew(self, msg: Message, t_send: float) -> None:
+        lease = self.leases.get(msg.src)
+        if lease is not None:
+            lease.renew(t_send)
+
+    def _on_nack(self, msg: Message) -> None:
+        # Only the transport-level lease NACK (§3.3) invalidates the
+        # lease; ordinary error replies ("exists", "no such file",
+        # "reassert_conflict") are application outcomes.
+        if not msg.payload.get("__lease_nack__"):
+            return
+        lease = self.leases.get(msg.src)
+        if lease is not None:
+            lease.on_nack()
+
+    def _admit(self, server: Optional[str] = None) -> Generator[Event, Any, None]:
+        """Gate new application requests on the target server's lease
+        phase (§3.2)."""
+        if self.admission_check is not None and not self.admission_check():
+            self.ops_rejected += 1
+            self.trace.emit(self.sim.now, "app.rejected", self.name, phase=-1)
+            raise ClientDisconnectedError(f"{self.name}: agent lease invalid")
+        lease = self.leases.get(server or self.server)
+        if lease is None:
+            return
+        while True:
+            ph = lease.phase()
+            if ph.serves_new_requests:
+                return
+            if not lease.active and not lease._ever_active:
+                return  # first contact bootstraps the lease
+            if self.config.quiesce_behavior == "error":
+                self.ops_rejected += 1
+                self.trace.emit(self.sim.now, "app.rejected", self.name, phase=int(ph))
+                if ph == LeasePhase.EXPIRED:
+                    raise ClientDisconnectedError(f"{self.name}: no valid lease")
+                raise ClientQuiescedError(f"{self.name}: lease phase {ph.name}")
+            self._resume_ev = self.sim.event()
+            yield self._resume_ev
+        return
+
+    def _enter(self) -> None:
+        self._in_flight += 1
+        if self._drained.triggered:
+            self._drained = self.sim.event()
+
+    def _exit(self) -> None:
+        self._in_flight -= 1
+        if self._in_flight == 0 and not self._drained.triggered:
+            self._drained.succeed()
+
+    def _pin_file(self, file_id: int) -> None:
+        """Mark an operation as actively using this file's lock."""
+        self._file_inflight[file_id] = self._file_inflight.get(file_id, 0) + 1
+
+    def _unpin_file(self, file_id: int) -> None:
+        n = self._file_inflight.get(file_id, 1) - 1
+        if n <= 0:
+            self._file_inflight.pop(file_id, None)
+            ev = self._file_drain_evs.pop(file_id, None)
+            if ev is not None and not ev.triggered:
+                ev.succeed()
+        else:
+            self._file_inflight[file_id] = n
+
+    def _wait_file_drain(self, file_id: int) -> Generator[Event, Any, None]:
+        """Wait until no operation is using the file's lock."""
+        while self._file_inflight.get(file_id, 0) > 0:
+            ev = self._file_drain_evs.get(file_id)
+            if ev is None or ev.triggered:
+                ev = self.sim.event()
+                self._file_drain_evs[file_id] = ev
+            yield ev
+
+    def _ensure_lock(self, of: OpenFile, mode: LockMode,
+                     ) -> Generator[Event, Any, None]:
+        """Make sure the open instance is covered by ``mode``.
+
+        While a demand compliance is revoking this file's lock, new
+        operations must not ride the dying lock: they go to the server,
+        whose waiter queue serializes them behind the revocation.
+        """
+        while of.file_id in self._revoking:
+            yield self.sim.timeout(0.01)
+        wanted = max(mode, of.wanted_lock) if not of.stale else of.wanted_lock
+        if not of.stale and self.locks.covers(of.file_id, mode):
+            if of.lock < mode:
+                of.lock = self.locks.mode_of(of.file_id)
+            return
+        reply = yield from self._rpc(MsgKind.LOCK_ACQUIRE,
+                                     {"file_id": of.file_id, "mode": int(wanted)},
+                                     of.server)
+        granted = LockMode(int(reply.payload["mode"]))
+        self.locks.note_granted(of.file_id, granted)
+        # Revalidation after staleness: cached pages may be outdated.
+        if of.stale:
+            self.cache.invalidate_file(of.file_id)
+            attrs = reply.payload.get("attrs")
+            if attrs:
+                of.attrs = FileAttributes.from_payload(attrs)
+            ext = reply.payload.get("extents")
+            if ext:
+                of.extents = extents_from_payload(ext)
+            of.stale = False
+        of.lock = granted
+
+    def _fetch_blocks(self, of: OpenFile, blocks: List[int],
+                      ) -> Generator[Event, Any, List[Tuple[int, Optional[str]]]]:
+        """Read missing blocks (direct SAN, or function-shipped through
+        the server for the E1 traditional baseline) into the cache."""
+        out: List[Tuple[int, Optional[str]]] = []
+        for lb in blocks:
+            device, lba = of.resolve(lb)
+            if self.config.data_path == "server":
+                reply = yield from self._rpc(MsgKind.DATA_READ,
+                                             {"file_id": of.file_id, "block": lb},
+                                             of.server)
+                tag = reply.payload.get("tag")
+                version = int(reply.payload.get("version", -1))
+            else:
+                try:
+                    results = yield from self.san.read(self.name, device, lba, 1)
+                except (FencedIoError, SanUnreachableError) as exc:
+                    self.app_errors += 1
+                    self.trace.emit(self.sim.now, "app.error", self.name,
+                                    file_id=of.file_id, tag=None,
+                                    reason=type(exc).__name__)
+                    raise ClientIOError(str(exc)) from exc
+                tag, version = results[0].tag, results[0].version
+            self.cache.put_clean(Page(file_id=of.file_id, logical_block=lb,
+                                      device=device, lba=lba, tag=tag,
+                                      version=version))
+            out.append((lb, tag))
+        return out
+
+    # -- write-back -----------------------------------------------------------
+    def _writeback_daemon(self) -> Generator[Event, Any, None]:
+        while True:
+            yield self.endpoint.local_timeout(self.config.writeback_interval)
+            yield from self._flush_dirty(None)
+
+    def _flush_dirty(self, file_id: Optional[int],
+                     report_errors: bool = True) -> Generator[Event, Any, int]:
+        """Harden dirty pages to the SAN; returns pages flushed.
+
+        SAN failures (fence, partition) emit ``app.error`` for every
+        affected tag — the client *detects and reports*, which is the
+        behaviour fencing-only cannot deliver before its first I/O.
+        """
+        dirty = self.cache.dirty_pages(file_id)
+        if not dirty:
+            return 0
+        if self.config.data_path == "server":
+            return (yield from self._flush_via_server(dirty, report_errors))
+        by_device: Dict[str, List[Page]] = {}
+        for p in dirty:
+            by_device.setdefault(p.device, []).append(p)
+        flushed = 0
+        for device, pages in by_device.items():
+            block_tags = {p.lba: p.tag for p in pages if p.tag is not None}
+            try:
+                versions = yield from self.san.write(self.name, device, block_tags)
+            except (FencedIoError, SanUnreachableError) as exc:
+                if report_errors:
+                    for p in pages:
+                        self.app_errors += 1
+                        self.trace.emit(self.sim.now, "app.error", self.name,
+                                        file_id=p.file_id, tag=p.tag,
+                                        reason=type(exc).__name__)
+                        self.cache.invalidate_file(p.file_id)
+                continue
+            for p in pages:
+                self.cache.mark_flushed(p, versions.get(p.lba, -1))
+                self.trace.emit(self.sim.now, "cache.flushed", self.name,
+                                file_id=p.file_id, tag=p.tag,
+                                block=p.logical_block, device=p.device, lba=p.lba)
+                flushed += 1
+        return flushed
+
+    def _flush_via_server(self, dirty: List[Page], report_errors: bool,
+                          ) -> Generator[Event, Any, int]:
+        """Function-shipped write-back (E1 baseline): each dirty page goes
+        to the server over the control network."""
+        flushed = 0
+        for p in dirty:
+            try:
+                reply = yield from self._rpc(
+                    MsgKind.DATA_WRITE,
+                    {"file_id": p.file_id, "block": p.logical_block,
+                     "tag": p.tag, "data_bytes": BLOCK_SIZE},
+                    self.server_for_file(p.file_id))
+            except (DeliveryError, NackError) as exc:
+                if report_errors:
+                    self.app_errors += 1
+                    self.trace.emit(self.sim.now, "app.error", self.name,
+                                    file_id=p.file_id, tag=p.tag,
+                                    reason=type(exc).__name__)
+                    self.cache.invalidate_file(p.file_id)
+                continue
+            self.cache.mark_flushed(p, int(reply.payload.get("version", -1)))
+            self.trace.emit(self.sim.now, "cache.flushed", self.name,
+                            file_id=p.file_id, tag=p.tag,
+                            block=p.logical_block, device=p.device, lba=p.lba)
+            flushed += 1
+        return flushed
+
+    # -- lease callbacks -------------------------------------------------------
+    def _keepalive_sender(self, server: str):
+        def spawn() -> None:
+            def send() -> Generator[Event, Any, None]:
+                self.keepalives_sent += 1
+                self.trace.emit(self.sim.now, "lease.keepalive", self.name,
+                                server=server)
+                try:
+                    yield from self._rpc(MsgKind.KEEPALIVE, {}, server)
+                except (DeliveryError, NackError):
+                    pass  # listeners already informed the lease manager
+            self.sim.process(send(), name=f"{self.name}:keepalive:{server}")
+        return spawn
+
+    def _quiesce(self) -> None:
+        self._quiesced = True
+        self.trace.emit(self.sim.now, "client.quiesce", self.name)
+
+    def _unquiesce(self) -> None:
+        if self._quiesced:
+            self.trace.emit(self.sim.now, "client.resume", self.name)
+        self._quiesced = False
+        if not self._resume_ev.triggered:
+            self._resume_ev.succeed()
+
+    def _files_of_server(self, server: str) -> List[int]:
+        return [fid for fid, srv in self._file_server.items() if srv == server]
+
+    def _flush_all_spawner(self, server: str):
+        def spawn() -> None:
+            def run() -> Generator[Event, Any, None]:
+                # Phase 3 ends before phase 4 begins: in-flight operations
+                # have until the flush boundary to drain (§3.2); we start
+                # flushing immediately but wait for stragglers too.
+                if self._in_flight and not self._drained.triggered:
+                    yield self._drained
+                if len(self.servers) == 1:
+                    yield from self._flush_dirty(None)
+                else:
+                    for fid in self._files_of_server(server):
+                        yield from self._flush_dirty(fid)
+            self.sim.process(run(), name=f"{self.name}:phase4-flush:{server}")
+        return spawn
+
+    def _expiry_handler(self, server: str):
+        def on_expired() -> None:
+            self._on_lease_expired(server)
+        return on_expired
+
+    def _on_lease_expired(self, server: Optional[str] = None) -> None:
+        """Invalidate cache and cede locks — for one server's files in a
+        multi-server installation, or everything otherwise."""
+        if server is None or len(self.servers) == 1:
+            dropped = self.cache.invalidate_all()
+            self.locks.drop_all()
+            self.fds.mark_all_stale()
+            self._attr_cache.clear()
+        else:
+            dropped = []
+            fids = self._files_of_server(server)
+            for fid in fids:
+                dropped.extend(self.cache.invalidate_file(fid))
+                self.locks.note_released(fid)
+            self.fds.mark_stale_for(fids)
+        for p in dropped:
+            # Dirty data that survived phase 4 could not be hardened;
+            # report the loss to the application rather than hide it.
+            self.app_errors += 1
+            self.trace.emit(self.sim.now, "app.error", self.name,
+                            file_id=p.file_id, tag=p.tag, reason="lease_expired")
+        self.trace.emit(self.sim.now, "client.lease_lost", self.name,
+                        server=server or self.server,
+                        dirty_dropped=len(dropped))
+
+    # -- §6 server recovery: lock reassertion ---------------------------------
+    def _on_epoch(self, msg: Message, _t_send: float) -> None:
+        epoch = msg.payload.get("__epoch__")
+        if epoch is None:
+            return
+        known = self._server_epoch.get(msg.src)
+        if known is None:
+            self._server_epoch[msg.src] = int(epoch)
+            return
+        if int(epoch) != known:
+            self._server_epoch[msg.src] = int(epoch)
+            self.trace.emit(self.sim.now, "client.epoch_change", self.name,
+                            server=msg.src, epoch=int(epoch))
+            self.sim.process(self._reassert_locks(msg.src),
+                             name=f"{self.name}:reassert:{msg.src}")
+
+    def _reassert_locks(self, server: str) -> Generator[Event, Any, None]:
+        """Re-claim every cached lock held from a restarted server.
+
+        A refused reassertion (someone else claimed the object first)
+        forfeits the lock and invalidates that file's cache.
+        """
+        from repro.server.recovery import LOCK_REASSERT
+        for obj, mode in self.locks.all_held():
+            if self.server_for_file(obj) != server:
+                continue
+            self.reasserts_sent += 1
+            try:
+                yield from self._rpc(LOCK_REASSERT,
+                                     {"file_id": obj, "mode": int(mode)},
+                                     server)
+                self.trace.emit(self.sim.now, "client.reasserted", self.name,
+                                file_id=obj, mode=int(mode))
+            except NackError:
+                self.locks.note_released(obj)
+                dropped = self.cache.invalidate_file(obj)
+                for p in dropped:
+                    self.app_errors += 1
+                    self.trace.emit(self.sim.now, "app.error", self.name,
+                                    file_id=obj, tag=p.tag,
+                                    reason="reassert_refused")
+                for of in self.fds.by_file_id(obj):
+                    of.lock = LockMode.NONE
+                    of.stale = True
+            except DeliveryError:
+                return  # server unreachable again; lease machinery owns this
+
+    def force_lease_expiry(self) -> None:
+        """Invalidate the cache and cede all locks immediately.
+
+        Used by baseline client agents (Frangipani heartbeats, V-leases)
+        that manage lease lifetime outside the Storage Tank state machine.
+        """
+        self._on_lease_expired()
+
+    # -- server-initiated handlers ----------------------------------------------
+    def _on_lock_demand(self, msg: Message):
+        """The server demands a lock back (conflict elsewhere).
+
+        ACK immediately (receipt), then comply asynchronously: flush the
+        file's dirty pages, then release or downgrade.
+        """
+        file_id = int(msg.payload["file_id"])
+        needed = LockMode(int(msg.payload["needed_mode"]))
+        self.sim.process(self._comply_demand(file_id, needed, msg.src),
+                         name=f"{self.name}:comply:{file_id}")
+        return ("ack", {"status": "demand_received"})
+
+    def _comply_demand(self, file_id: int, needed: LockMode, server: str,
+                       ) -> Generator[Event, Any, None]:
+        held = self.locks.mode_of(file_id)
+        if held == LockMode.NONE:
+            return
+        # Stop new operations from riding the lock, drain current users,
+        # then flush what they wrote — only then give the lock back.
+        self._revoking.add(file_id)
+        try:
+            yield from self._wait_file_drain(file_id)
+            yield from self._flush_dirty(file_id)
+            yield from self._yield_lock(file_id, needed, server)
+        finally:
+            self._revoking.discard(file_id)
+
+    def _yield_lock(self, file_id: int, needed: LockMode, server: str,
+                    ) -> Generator[Event, Any, None]:
+        held = self.locks.mode_of(file_id)
+        if held == LockMode.NONE:
+            return
+        try:
+            if needed == LockMode.SHARED and held == LockMode.EXCLUSIVE:
+                yield from self._rpc(MsgKind.LOCK_DOWNGRADE,
+                                     {"file_id": file_id,
+                                      "to": int(LockMode.SHARED)}, server)
+                self.locks.note_downgraded(file_id, LockMode.SHARED)
+                for of in self.fds.by_file_id(file_id):
+                    of.lock = LockMode.SHARED
+            else:
+                self.cache.invalidate_file(file_id)
+                yield from self._rpc(MsgKind.LOCK_RELEASE,
+                                     {"file_id": file_id}, server)
+                self.locks.note_released(file_id)
+                for of in self.fds.by_file_id(file_id):
+                    of.lock = LockMode.NONE
+        except (DeliveryError, NackError):
+            pass  # the lease machinery owns this failure mode
+
+    def _on_cache_invalidate(self, msg: Message):
+        """Server-pushed invalidation of a file's cached pages."""
+        file_id = int(msg.payload["file_id"])
+        self.cache.invalidate_file(file_id)
+        return ("ack", {})

@@ -1,0 +1,87 @@
+"""Open-file instances and the per-client descriptor table."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.locks.modes import LockMode
+from repro.metadata.inode import FileAttributes
+from repro.storage.blockmap import ExtentMap
+
+
+@dataclass
+class OpenFile:
+    """A client's open instance of one file (paper: "open instance with a
+    data lock")."""
+
+    fd: int
+    path: str
+    file_id: int
+    mode: str                    # "r" | "w"
+    attrs: FileAttributes
+    extents: ExtentMap
+    lock: LockMode = LockMode.NONE
+    stale: bool = False          # lease expired since open; must revalidate
+    server: str = "server"       # the metadata server that owns this file
+
+    @property
+    def wanted_lock(self) -> LockMode:
+        """Lock mode this open mode requires."""
+        return LockMode.EXCLUSIVE if self.mode == "w" else LockMode.SHARED
+
+    def resolve(self, logical_block: int) -> Tuple[str, int]:
+        """Physical location of a logical block."""
+        return self.extents.resolve(logical_block)
+
+
+class FdTable:
+    """File-descriptor table for one client."""
+
+    def __init__(self) -> None:
+        self._fds: Dict[int, OpenFile] = {}
+        self._next = itertools.count(3)  # 0-2 reserved, unix-flavoured
+
+    def install(self, path: str, file_id: int, mode: str,
+                attrs: FileAttributes, extents: ExtentMap,
+                lock: LockMode, server: str = "server") -> OpenFile:
+        """Create an open instance and hand out its descriptor."""
+        fd = next(self._next)
+        of = OpenFile(fd=fd, path=path, file_id=file_id, mode=mode,
+                      attrs=attrs, extents=extents, lock=lock, server=server)
+        self._fds[fd] = of
+        return of
+
+    def get(self, fd: int) -> OpenFile:
+        """Resolve a descriptor or raise KeyError."""
+        return self._fds[fd]
+
+    def close(self, fd: int) -> OpenFile:
+        """Remove a descriptor."""
+        return self._fds.pop(fd)
+
+    def by_file_id(self, file_id: int) -> List[OpenFile]:
+        """All open instances of a file."""
+        return [of for of in self._fds.values() if of.file_id == file_id]
+
+    def all_open(self) -> List[OpenFile]:
+        """Every open instance."""
+        return list(self._fds.values())
+
+    def mark_all_stale(self) -> None:
+        """Lease expired: every open instance must revalidate its lock."""
+        for of in self._fds.values():
+            of.stale = True
+            of.lock = LockMode.NONE
+
+    def mark_stale_for(self, file_ids) -> None:
+        """Per-server lease expiry: only that server's files go stale."""
+        ids = set(file_ids)
+        for of in self._fds.values():
+            if of.file_id in ids:
+                of.stale = True
+                of.lock = LockMode.NONE
+
+    def __len__(self) -> int:
+        return len(self._fds)

@@ -1,0 +1,27 @@
+"""High-level assembly of a simulated Storage Tank installation.
+
+:func:`build_system` takes a :class:`SystemConfig` and returns a
+:class:`StorageTankSystem` — simulator, clocks, both networks, disks,
+one server and N clients, wired for the selected safety protocol
+(Storage Tank leases by default, or any baseline from
+:mod:`repro.protocols`).
+"""
+
+from repro.core.config import (
+    LeaseConfig,
+    NetworkConfig,
+    PROTOCOLS,
+    SystemConfig,
+    WorkloadConfig,
+)
+from repro.core.system import StorageTankSystem, build_system
+
+__all__ = [
+    "LeaseConfig",
+    "NetworkConfig",
+    "PROTOCOLS",
+    "StorageTankSystem",
+    "SystemConfig",
+    "WorkloadConfig",
+    "build_system",
+]

@@ -1,0 +1,116 @@
+"""Configuration dataclasses for system assembly."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.lease.contract import LeaseContract, PhaseBoundaries
+
+#: Safety protocols the builder understands.
+PROTOCOLS = (
+    "storage_tank",     # the paper: passive lease authority + 4-phase clients
+    "no_protocol",      # honor locks of unreachable clients forever (§2)
+    "naive_steal",      # steal immediately on delivery failure (§1.2, unsafe on SAN)
+    "fencing_only",     # fence + steal immediately (§2.1, inadequate)
+    "frangipani",       # heartbeat leases with server state (§5)
+    "vleases",          # per-object V-system leases (§4)
+    "nfs",              # attribute polling, no locks (§5, incoherent)
+)
+
+
+@dataclass(frozen=True)
+class LeaseConfig:
+    """Lease contract parameters (τ, ε, phase layout)."""
+
+    tau: float = 30.0
+    epsilon: float = 0.05
+    renewal_frac: float = 0.5
+    suspect_frac: float = 0.75
+    flush_frac: float = 0.9
+
+    def contract(self) -> LeaseContract:
+        """Materialize the immutable contract object."""
+        return LeaseContract(
+            tau=self.tau, epsilon=self.epsilon,
+            boundaries=PhaseBoundaries(renewal=self.renewal_frac,
+                                       suspect=self.suspect_frac,
+                                       flush=self.flush_frac))
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Delay/loss models for both networks."""
+
+    ctrl_base_delay: float = 0.001
+    ctrl_jitter: float = 0.0005
+    ctrl_drop_probability: float = 0.0
+    san_base_latency: float = 0.0005
+    san_per_block_latency: float = 0.00005
+    san_per_device_queueing: bool = False  # serialize commands per disk
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Synthetic workload shape (consumed by :mod:`repro.workloads`)."""
+
+    n_files: int = 20
+    file_size_blocks: int = 64
+    read_fraction: float = 0.7
+    think_time: float = 0.05       # mean local seconds between ops
+    io_blocks: int = 2             # blocks touched per op
+    zipf_s: float = 0.0            # 0 = uniform file popularity
+    reopen_probability: float = 0.05
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """One full installation."""
+
+    n_clients: int = 2
+    n_servers: int = 1
+    n_disks: int = 1
+    disk_blocks: int = 1 << 16
+    seed: int = 0
+    protocol: str = "storage_tank"
+    fence_on_steal: bool = True
+    quiesce_behavior: str = "error"      # clients: "error" | "wait" in phases 3+
+    writeback_interval: float = 5.0
+    rpc_timeout: float = 1.0
+    rpc_retries: int = 3
+    slow_clients: Tuple[str, ...] = ()   # clock-bound violators (§6)
+    data_path: str = "direct"            # "direct" SAN I/O | "server" function ship
+    attr_cache_ttl: float = 0.0          # weakly consistent getattr cache (footnote 1)
+    record_trace: bool = True
+    lease: LeaseConfig = field(default_factory=LeaseConfig)
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    # Baseline knobs
+    frangipani_heartbeat: float = 10.0
+    vlease_object_duration: float = 10.0
+    nfs_attr_ttl: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.protocol not in PROTOCOLS:
+            raise ValueError(f"unknown protocol {self.protocol!r}; "
+                             f"choose one of {PROTOCOLS}")
+        if self.n_clients < 1 or self.n_disks < 1 or self.n_servers < 1:
+            raise ValueError("need at least one client, server and disk")
+        if self.n_servers > 1 and self.protocol != "storage_tank":
+            raise ValueError("multi-server installations are implemented "
+                             "for the storage_tank protocol only")
+
+    def client_names(self) -> Tuple[str, ...]:
+        """The generated client node names."""
+        return tuple(f"c{i}" for i in range(1, self.n_clients + 1))
+
+    def disk_names(self) -> Tuple[str, ...]:
+        """The generated device names."""
+        return tuple(f"disk{i}" for i in range(1, self.n_disks + 1))
+
+    def server_names(self) -> Tuple[str, ...]:
+        """Generated server names ("server" alone keeps the historical
+        single-server name)."""
+        if self.n_servers == 1:
+            return ("server",)
+        return tuple(f"server{i}" for i in range(1, self.n_servers + 1))

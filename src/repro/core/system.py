@@ -1,0 +1,263 @@
+"""System assembly: one server, N clients, two networks, shared disks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Union
+
+from repro.client.node import ClientConfig, StorageTankClient
+from repro.core.config import SystemConfig
+from repro.lease.server_lease import ServerLeaseAuthority
+from repro.net.control import ControlNetwork
+from repro.net.partition import PartitionController, combined_views, is_symmetric
+from repro.net.san import SanFabric
+from repro.protocols.base import NoStealAuthority
+from repro.protocols.fencing_only import FencingOnlyAuthority
+from repro.protocols.frangipani import FrangipaniAuthority, FrangipaniClientAgent
+from repro.protocols.nfs_polling import NfsPollingClient
+from repro.protocols.steal import ImmediateStealAuthority
+from repro.protocols.vleases import VLeaseAuthority, VLeaseClientAgent
+from repro.server.node import ServerConfig, StorageTankServer
+from repro.sim.clock import ClockEnsemble
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import TraceRecorder
+from repro.storage.disk import VirtualDisk
+
+AnyClient = Union[StorageTankClient, NfsPollingClient]
+
+
+@dataclass
+class StorageTankSystem:
+    """A built installation, ready to run."""
+
+    config: SystemConfig
+    sim: Simulator
+    streams: RandomStreams
+    trace: TraceRecorder
+    clocks: ClockEnsemble
+    control_net: ControlNetwork
+    san: SanFabric
+    disks: Dict[str, VirtualDisk]
+    server: StorageTankServer
+    clients: Dict[str, AnyClient]
+    agents: Dict[str, Any] = field(default_factory=dict)
+    servers: Dict[str, StorageTankServer] = field(default_factory=dict)
+
+    # -- convenience ------------------------------------------------------
+    @property
+    def ctrl_partitions(self) -> PartitionController:
+        """Partition controller for the control network."""
+        return PartitionController(self.control_net)
+
+    @property
+    def san_partitions(self) -> PartitionController:
+        """Partition controller for the SAN."""
+        return PartitionController(self.san)
+
+    def client(self, name: str) -> AnyClient:
+        """Look up a client node."""
+        return self.clients[name]
+
+    def server_node(self, name: str) -> StorageTankServer:
+        """Look up a server node by name."""
+        return self.servers[name]
+
+    def spawn(self, gen, name: Optional[str] = None):
+        """Run a generator as a simulation process."""
+        return self.sim.process(gen, name=name)
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Advance the simulation."""
+        return self.sim.run(until=until, max_events=max_events)
+
+    def network_views(self) -> Dict[str, Any]:
+        """Two-network combined views V(A) and symmetry verdict (paper §2).
+
+        On the SAN, only computer↔device pairs can communicate: two
+        clients never talk over the SAN, which is exactly what makes a
+        symmetric control-network cut asymmetric overall (Fig. 2).
+        """
+        entities = ([self.server.name] + list(self.clients) + list(self.disks))
+        ctrl_members = {self.server.name, *self.clients}
+        devices = set(self.disks)
+
+        class _SanView:
+            """SAN reachability restricted to initiator↔device pairs."""
+
+            def __init__(self, fabric):
+                self._fabric = fabric
+
+            def reachable(self, a: str, b: str) -> bool:
+                if (a in devices) == (b in devices):
+                    return False  # device↔device and computer↔computer: no path
+                return self._fabric.reachable(a, b)
+
+        san_members = {*self.clients, *self.disks, self.server.name}
+        views = combined_views(entities,
+                               [(self.control_net, ctrl_members),
+                                (_SanView(self.san), san_members)])
+        return {"views": views, "symmetric": is_symmetric(views)}
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """One dict of every counter the experiments report."""
+        auth = self.server.authority
+        snap: Dict[str, Any] = {
+            "time": self.sim.now,
+            "server.transactions": self.server.transactions,
+            "server.data_bytes_served": self.server.data_bytes_served,
+            "server.meta_ops": self.server.metadata.ops,
+            "server.lock_grants": self.server.locks.grants,
+            "server.lock_steals": self.server.locks.steals,
+            "authority.state_bytes": auth.state_bytes(),
+            "authority.cpu_ops": auth.lease_cpu_ops,
+            "authority.msgs_sent": auth.lease_msgs_sent,
+            "ctrl.delivered": self.control_net.delivered_count,
+            "ctrl.dropped": self.control_net.dropped_count,
+            "san.bytes_read": self.san.bytes_read,
+            "san.bytes_written": self.san.bytes_written,
+            "san.io_count": self.san.io_count,
+        }
+        if isinstance(auth, ServerLeaseAuthority):
+            snap["authority.peak_state_bytes"] = auth.peak_state_bytes
+            snap["authority.steals"] = auth.total_steals
+        if len(self.servers) > 1:
+            for sname, srv in self.servers.items():
+                snap[f"{sname}.transactions"] = srv.transactions
+                snap[f"{sname}.lock_grants"] = srv.locks.grants
+                snap[f"{sname}.state_bytes"] = srv.authority.state_bytes()
+        for name, cl in self.clients.items():
+            snap[f"{name}.ops_completed"] = cl.ops_completed
+            snap[f"{name}.app_errors"] = cl.app_errors
+            if isinstance(cl, StorageTankClient):
+                snap[f"{name}.ops_rejected"] = cl.ops_rejected
+                snap[f"{name}.keepalives"] = cl.keepalives_sent
+                snap[f"{name}.cache_hit_rate"] = cl.cache.stats.hit_rate
+            else:
+                snap[f"{name}.polls"] = cl.polls_sent
+        for name, agent in self.agents.items():
+            if isinstance(agent, FrangipaniClientAgent):
+                snap[f"{name}.heartbeats"] = agent.heartbeats_sent
+            elif isinstance(agent, VLeaseClientAgent):
+                snap[f"{name}.vlease_renewals"] = agent.renewals_sent
+                snap[f"{name}.vlease_purges"] = agent.purges
+        return snap
+
+
+def build_system(config: Optional[SystemConfig] = None) -> StorageTankSystem:
+    """Assemble a full installation for the configured protocol."""
+    cfg = config or SystemConfig()
+    sim = Simulator()
+    streams = RandomStreams(cfg.seed)
+    trace = TraceRecorder(enabled=cfg.record_trace)
+    clocks = ClockEnsemble(cfg.lease.epsilon, streams)
+    contract = cfg.lease.contract()
+
+    net = ControlNetwork(sim, streams, trace,
+                         base_delay=cfg.network.ctrl_base_delay,
+                         jitter=cfg.network.ctrl_jitter,
+                         drop_probability=cfg.network.ctrl_drop_probability)
+    san = SanFabric(sim, streams, trace,
+                    base_latency=cfg.network.san_base_latency,
+                    per_block_latency=cfg.network.san_per_block_latency,
+                    per_device_queueing=cfg.network.san_per_device_queueing)
+    disks = {}
+    for dname in cfg.disk_names():
+        disk = VirtualDisk(dname, n_blocks=cfg.disk_blocks)
+        san.attach_device(disk)
+        disks[dname] = disk
+
+    # Recovery grace must outlast an idle client's next forced contact
+    # (the phase-2 keep-alive at 0.5 tau), so every live client's lock
+    # reassertion lands inside the window.
+    server_cfg = ServerConfig(fence_on_steal=_fence_setting(cfg),
+                              recovery_grace=0.6 * cfg.lease.tau)
+    server_names = cfg.server_names()
+    servers: Dict[str, StorageTankServer] = {}
+    for i, sname in enumerate(server_names):
+        servers[sname] = StorageTankServer(
+            sim, net, san, sname, clocks.create(sname), contract,
+            config=server_cfg, trace=trace,
+            authority_factory=_authority_factory(cfg),
+            id_base=i * 1_000_000_000,
+            alloc_share=(i, len(server_names)))
+    server = servers[server_names[0]]
+
+    clients: Dict[str, AnyClient] = {}
+    agents: Dict[str, Any] = {}
+    client_cfg_base = dict(writeback_interval=cfg.writeback_interval,
+                           rpc_timeout=cfg.rpc_timeout,
+                           rpc_retries=cfg.rpc_retries,
+                           quiesce_behavior=cfg.quiesce_behavior,
+                           data_path=cfg.data_path,
+                           attr_cache_ttl=cfg.attr_cache_ttl)
+    for cname in cfg.client_names():
+        clock = clocks.create(cname, violates_bound=cname in cfg.slow_clients)
+        if cfg.protocol == "nfs":
+            clients[cname] = NfsPollingClient(sim, net, san, cname,
+                                              server_names[0], clock,
+                                              attr_ttl=cfg.nfs_attr_ttl,
+                                              trace=trace)
+            continue
+        ccfg = ClientConfig(use_leases=(cfg.protocol == "storage_tank"),
+                            **client_cfg_base)
+        client = StorageTankClient(sim, net, san, cname, server_names, clock,
+                                   contract, config=ccfg, trace=trace)
+        clients[cname] = client
+        if cfg.protocol == "frangipani":
+            agents[cname] = FrangipaniClientAgent(
+                client, lease_duration=cfg.lease.tau,
+                heartbeat_interval=cfg.frangipani_heartbeat)
+        elif cfg.protocol == "vleases":
+            agents[cname] = VLeaseClientAgent(
+                client, object_lease_duration=cfg.vlease_object_duration)
+
+    return StorageTankSystem(config=cfg, sim=sim, streams=streams, trace=trace,
+                             clocks=clocks, control_net=net, san=san,
+                             disks=disks, server=server, clients=clients,
+                             agents=agents, servers=servers)
+
+
+def _fence_setting(cfg: SystemConfig) -> bool:
+    if cfg.protocol == "fencing_only":
+        return True
+    if cfg.protocol in ("naive_steal", "no_protocol", "nfs"):
+        return False
+    return cfg.fence_on_steal
+
+
+def _authority_factory(cfg: SystemConfig):
+    proto = cfg.protocol
+
+    def factory(server: StorageTankServer):
+        if proto == "storage_tank":
+            return ServerLeaseAuthority(server.sim, server.endpoint,
+                                        server.contract,
+                                        on_steal=server.steal_client,
+                                        trace=server.trace)
+        if proto == "no_protocol" or proto == "nfs":
+            return NoStealAuthority(server.sim, server.endpoint,
+                                    on_steal=server.steal_client,
+                                    trace=server.trace)
+        if proto == "naive_steal":
+            return ImmediateStealAuthority(server.sim, server.endpoint,
+                                           on_steal=server.steal_client,
+                                           trace=server.trace)
+        if proto == "fencing_only":
+            return FencingOnlyAuthority(server.sim, server.endpoint,
+                                        on_steal=server.steal_client,
+                                        trace=server.trace)
+        if proto == "frangipani":
+            return FrangipaniAuthority(server.sim, server.endpoint,
+                                       on_steal=server.steal_client,
+                                       trace=server.trace,
+                                       lease_duration=cfg.lease.tau,
+                                       check_interval=1.0)
+        if proto == "vleases":
+            return VLeaseAuthority(server.sim, server.endpoint,
+                                   on_steal=server.steal_client,
+                                   trace=server.trace, server=server,
+                                   object_lease_duration=cfg.vlease_object_duration)
+        raise ValueError(f"unknown protocol {proto!r}")
+
+    return factory

@@ -1,0 +1,24 @@
+"""Failure injection.
+
+Schedules the failure modes the paper reasons about: control-network
+partitions (permanent, transient and asymmetric — §2), SAN partitions,
+client crashes (volatile state loss) and slow computers (§6).  All
+injections are ordinary simulation processes, so they compose with
+workloads and are reproducible from the seed.
+"""
+
+from repro.fault.injector import FaultInjector
+from repro.fault.scenarios import (
+    fig2_control_partition,
+    transient_partition,
+    client_crash,
+    san_partition,
+)
+
+__all__ = [
+    "FaultInjector",
+    "client_crash",
+    "fig2_control_partition",
+    "san_partition",
+    "transient_partition",
+]

@@ -1,0 +1,112 @@
+"""Programmable fault schedules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.core.system import StorageTankSystem
+from repro.sim.events import Event
+
+
+@dataclass(frozen=True)
+class _Step:
+    time: float
+    label: str
+    action: Callable[[], None]
+
+
+class FaultInjector:
+    """Builds a timed fault schedule against one system and runs it.
+
+    >>> inj = FaultInjector(system)
+    >>> inj.at(5.0).isolate_client("c1")
+    >>> inj.at(40.0).heal_control()
+    >>> inj.start()
+    """
+
+    def __init__(self, system: StorageTankSystem):
+        self.system = system
+        self._steps: List[_Step] = []
+        self._pending_time: Optional[float] = None
+        self.log: List[Tuple[float, str]] = []
+
+    # -- schedule building (fluent) ----------------------------------------
+    def at(self, time: float) -> "FaultInjector":
+        """Set the time for the next queued action."""
+        self._pending_time = time
+        return self
+
+    def _add(self, label: str, action: Callable[[], None]) -> "FaultInjector":
+        if self._pending_time is None:
+            raise ValueError("call .at(time) before queueing an action")
+        self._steps.append(_Step(self._pending_time, label, action))
+        return self
+
+    def isolate_client(self, client: str) -> "FaultInjector":
+        """Symmetric control-network cut around one client (Fig. 2)."""
+        sysm = self.system
+        return self._add(f"isolate:{client}",
+                         lambda: sysm.ctrl_partitions.isolate(client))
+
+    def split_control(self, *groups) -> "FaultInjector":
+        """Symmetric control-network split into groups."""
+        sysm = self.system
+        gs = [list(g) for g in groups]
+        return self._add("split", lambda: sysm.ctrl_partitions.split(*gs))
+
+    def block_one_way(self, src: str, dst: str) -> "FaultInjector":
+        """Asymmetric control-network failure: src loses its path to dst."""
+        sysm = self.system
+        return self._add(f"oneway:{src}->{dst}",
+                         lambda: sysm.control_net.block(src, dst))
+
+    def heal_control(self) -> "FaultInjector":
+        """Remove every control-network partition."""
+        sysm = self.system
+        return self._add("heal_control", sysm.control_net.heal_all)
+
+    def partition_san(self, initiator: str, device: str) -> "FaultInjector":
+        """Cut an initiator's SAN path to a device."""
+        sysm = self.system
+        return self._add(f"san_cut:{initiator}-{device}",
+                         lambda: sysm.san.block_pair(initiator, device))
+
+    def heal_san(self) -> "FaultInjector":
+        """Remove every SAN partition."""
+        sysm = self.system
+        return self._add("heal_san", sysm.san.heal_all)
+
+    def crash_client(self, client: str) -> "FaultInjector":
+        """Stop the client's endpoint (volatile cache/locks conceptually
+        lost with it; the node object stays for inspection)."""
+        sysm = self.system
+        return self._add(f"crash:{client}",
+                         lambda: sysm.client(client).endpoint.crash())
+
+    def restart_client(self, client: str) -> "FaultInjector":
+        """Bring a crashed client's endpoint back."""
+        sysm = self.system
+        return self._add(f"restart:{client}",
+                         lambda: sysm.client(client).endpoint.restart())
+
+    def custom(self, label: str, fn: Callable[[], None]) -> "FaultInjector":
+        """Queue an arbitrary action."""
+        return self._add(label, fn)
+
+    # -- execution ------------------------------------------------------------
+    def start(self):
+        """Spawn the schedule as a simulation process."""
+        steps = sorted(self._steps, key=lambda s: s.time)
+
+        def run() -> Generator[Event, Any, None]:
+            sim = self.system.sim
+            for step in steps:
+                delay = step.time - sim.now
+                if delay > 0:
+                    yield sim.timeout(delay)
+                step.action()
+                self.log.append((sim.now, step.label))
+                self.system.trace.emit(sim.now, "fault.inject", "injector",
+                                       label=step.label)
+        return self.system.spawn(run(), "fault-injector")

@@ -1,0 +1,61 @@
+"""Canned fault scenarios matching the paper's figures."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.system import StorageTankSystem
+from repro.fault.injector import FaultInjector
+
+
+def fig2_control_partition(system: StorageTankSystem, client: str = "c1",
+                           at: float = 5.0) -> FaultInjector:
+    """The paper's Fig. 2: the control network partitions around one
+    client while the SAN stays intact — the canonical asymmetric
+    two-network partition."""
+    inj = FaultInjector(system)
+    inj.at(at).isolate_client(client)
+    return inj
+
+
+def transient_partition(system: StorageTankSystem, client: str = "c1",
+                        at: float = 5.0, duration: float = 6.0,
+                        ) -> FaultInjector:
+    """Fig. 5's setting: the client drops off the control network briefly
+    (long enough to miss a message), then reappears and sends requests."""
+    inj = FaultInjector(system)
+    inj.at(at).isolate_client(client)
+    inj.at(at + duration).heal_control()
+    return inj
+
+
+def client_crash(system: StorageTankSystem, client: str = "c1",
+                 at: float = 5.0, restart_at: Optional[float] = None,
+                 ) -> FaultInjector:
+    """Hard client failure (volatile state lost); optional restart."""
+    inj = FaultInjector(system)
+    inj.at(at).crash_client(client)
+
+    def wipe() -> None:
+        node = system.client(client)
+        node.cache.invalidate_all()
+        if hasattr(node, "locks"):
+            node.locks.drop_all()
+    inj.at(at).custom(f"wipe:{client}", wipe)
+    if restart_at is not None:
+        inj.at(restart_at).restart_client(client)
+    return inj
+
+
+def san_partition(system: StorageTankSystem, client: str = "c1",
+                  at: float = 5.0, heal_at: Optional[float] = None,
+                  ) -> FaultInjector:
+    """The client keeps its control-network connection but loses the SAN
+    (the failure class where leasing "offers no improvements over
+    fencing", §3)."""
+    inj = FaultInjector(system)
+    for dev in system.disks:
+        inj.at(at).partition_san(client, dev)
+    if heal_at is not None:
+        inj.at(heal_at).heal_san()
+    return inj

@@ -1,0 +1,77 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.harness e2           # one experiment (e1-e10, a1-a4)
+    python -m repro.harness e4 e7        # several
+    python -m repro.harness all          # everything (minutes)
+    python -m repro.harness all --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.analysis.report import Table
+from repro.harness.ablations import ABLATIONS
+from repro.harness.experiments import EXPERIMENTS as _EXPERIMENTS
+
+EXPERIMENTS = dict(_EXPERIMENTS)
+EXPERIMENTS.update(ABLATIONS)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate the paper's figures/claims (E1-E10).")
+    parser.add_argument("experiments", nargs="+",
+                        help=f"experiment ids ({', '.join(EXPERIMENTS)}) or 'all'")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="root random seed (default 0)")
+    parser.add_argument("--markdown", metavar="FILE", default=None,
+                        help="also write the tables to FILE as markdown")
+    args = parser.parse_args(argv)
+
+    names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}")
+
+    md_chunks = []
+    for name in names:
+        started = time.time()
+        result = EXPERIMENTS[name](seed=args.seed)
+        tables = result if isinstance(result, list) else [result]
+        for t in tables:
+            print()
+            print(t)
+            md_chunks.append(table_to_markdown(t))
+        print(f"\n[{name} completed in {time.time() - started:.1f}s wall]")
+    if args.markdown:
+        with open(args.markdown, "w") as fh:
+            fh.write(f"# Experiment tables (seed {args.seed})\n\n")
+            fh.write("\n\n".join(md_chunks))
+            fh.write("\n")
+        print(f"\n[markdown written to {args.markdown}]")
+    return 0
+
+
+def table_to_markdown(table: Table) -> str:
+    """Render a result table as GitHub-flavoured markdown."""
+    def cell(v) -> str:
+        return str(v).replace("|", "\\|")
+
+    lines = [f"## {table.title}", ""]
+    lines.append("| " + " | ".join(table.columns) + " |")
+    lines.append("|" + "|".join("---" for _ in table.columns) + "|")
+    for row in table.rows:
+        lines.append("| " + " | ".join(cell(c) for c in row) + " |")
+    for note in table.notes:
+        lines.append(f"\n*{note}*")
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""The Storage Tank lease-based safety protocol (paper §3) — the core
+contribution.
+
+One lease per client/server pair (not per object, §4).  The client
+renews *opportunistically* on every ACKed message it initiates (§3.1,
+Fig. 3), subdivides its lease interval into four phases (§3.2, Fig. 4)
+and, on expiry, has already quiesced, flushed dirty data and invalidated
+its cache.  The server is *passive* (§3): it keeps no lease state,
+performs no lease computation and sends no lease messages during normal
+operation; a delivery error starts a τ(1+ε) timer, requests from the
+suspect client are NACKed (§3.3, Fig. 5), and when the timer fires the
+client's locks may be safely stolen (Theorem 3.1).
+"""
+
+from repro.lease.contract import LeaseContract, PhaseBoundaries, verify_theorem_3_1
+from repro.lease.phases import LeasePhase
+from repro.lease.client_lease import ClientLeaseManager, LeaseCallbacks
+from repro.lease.server_lease import ServerLeaseAuthority, SuspectEntry
+
+__all__ = [
+    "ClientLeaseManager",
+    "LeaseCallbacks",
+    "LeaseContract",
+    "LeasePhase",
+    "PhaseBoundaries",
+    "ServerLeaseAuthority",
+    "SuspectEntry",
+    "verify_theorem_3_1",
+]

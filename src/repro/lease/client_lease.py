@@ -1,0 +1,238 @@
+"""The client side of the lease protocol: the four-phase state machine.
+
+One :class:`ClientLeaseManager` per (client, server) pair — the paper's
+lease is a single contract covering *all* locks held with that server
+(§4).  The manager renews on every ACK the client's endpoint receives
+(opportunistic renewal, §3.1), runs a daemon that walks the lease
+interval's phases (§3.2, Fig. 4) on the *client's own clock*, and
+reacts to a NACK by jumping straight to the suspect phase (§3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generator, Optional
+
+from repro.lease.contract import LeaseContract
+from repro.lease.phases import LeasePhase
+from repro.net.control import Endpoint
+from repro.sim.events import Event
+from repro.sim.kernel import Simulator
+from repro.sim.trace import TraceRecorder
+
+
+def _noop() -> None:
+    return None
+
+
+@dataclass
+class LeaseCallbacks:
+    """Hooks the owning client node provides to the lease daemon.
+
+    All callbacks must be non-blocking: long work (flushing to the SAN,
+    sending a keep-alive request) is spawned as a separate process by
+    the client node.
+    """
+
+    send_keepalive: Callable[[], None] = _noop   # phase 2 + disconnected probing
+    on_enter_suspect: Callable[[], None] = _noop  # phase 3: quiesce new requests
+    on_enter_flush: Callable[[], None] = _noop    # phase 4: write out dirty data
+    on_expired: Callable[[], None] = _noop        # invalidate cache, cede locks
+    on_resume_service: Callable[[], None] = _noop  # late renewal pulled us back to phase 1
+    on_reconnected: Callable[[], None] = _noop    # probe succeeded after expiry
+
+
+class ClientLeaseManager:
+    """Four-phase lease state machine for one server relationship."""
+
+    def __init__(self, sim: Simulator, endpoint: Endpoint, server: str,
+                 contract: LeaseContract,
+                 callbacks: Optional[LeaseCallbacks] = None,
+                 trace: Optional[TraceRecorder] = None,
+                 probe_interval_local: Optional[float] = None):
+        self.sim = sim
+        self.endpoint = endpoint
+        self.server = server
+        self.contract = contract
+        self.callbacks = callbacks or LeaseCallbacks()
+        self.trace = trace if trace is not None else endpoint.trace
+        self.probe_interval_local = (probe_interval_local
+                                     if probe_interval_local is not None
+                                     else contract.keepalive_interval_local())
+
+        self._lease_start_local: Optional[float] = None
+        self._active = False
+        self._ever_active = False
+        self._nacked = False
+        self._kick: Event = sim.event()
+        self._daemon = sim.process(self._run(), name=f"{endpoint.name}:lease:{server}")
+
+        # Phase-occupancy accounting (experiment E5).
+        self._last_phase: Optional[LeasePhase] = None
+        self._last_phase_since: float = sim.now
+        self.phase_time: Dict[LeasePhase, float] = {p: 0.0 for p in LeasePhase}
+        self.renewals = 0
+        self.expirations = 0
+        self.nacks_seen = 0
+
+    # -- public state -----------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """Whether a valid (unexpired) lease is currently held."""
+        return self._active
+
+    @property
+    def lease_start_local(self) -> Optional[float]:
+        """Local initiation time of the message that obtained the lease."""
+        return self._lease_start_local
+
+    def expiry_local(self) -> Optional[float]:
+        """Local expiry time of the current lease."""
+        if self._lease_start_local is None:
+            return None
+        return self.contract.client_expiry_local(self._lease_start_local)
+
+    def phase(self) -> LeasePhase:
+        """Current phase on this client's clock."""
+        if not self._active or self._lease_start_local is None:
+            return LeasePhase.EXPIRED
+        now_local = self.endpoint.local_now()
+        elapsed = (now_local - self._lease_start_local) / self.contract.tau
+        if self._nacked:
+            # §3.3: after a NACK the client skips to phase 3 directly.
+            b = self.contract.boundaries
+            elapsed = max(elapsed, b.suspect)
+        b = self.contract.boundaries
+        if elapsed < b.renewal:
+            return LeasePhase.VALID
+        if elapsed < b.suspect:
+            return LeasePhase.RENEWAL
+        if elapsed < b.flush:
+            return LeasePhase.SUSPECT
+        if elapsed < 1.0:
+            return LeasePhase.FLUSH
+        return LeasePhase.EXPIRED
+
+    @property
+    def serves_requests(self) -> bool:
+        """Whether new local-process FS requests are admitted now (§3.2)."""
+        return self.phase().serves_new_requests
+
+    # -- inputs from the endpoint ------------------------------------------
+    def renew(self, t_send_local: float) -> None:
+        """An ACK arrived for a message the client initiated at
+        ``t_send_local``: the lease now runs ``[t_send_local, +τ)`` (Fig. 3).
+
+        Called from the endpoint's ACK listener for *every* acknowledged
+        message — this is what makes renewal free during normal operation.
+        """
+        if self._nacked:
+            return  # §3.3: ignore stale renewals once we know the server NACKed us
+        prev_start = self._lease_start_local
+        if prev_start is None or t_send_local > prev_start:
+            self._lease_start_local = t_send_local
+        expiry = self.expiry_local()
+        assert expiry is not None
+        if expiry <= self.endpoint.local_now():
+            return  # too old to validate anything
+        self.renewals += 1
+        was_active = self._active
+        was_ever = self._ever_active
+        self._active = True
+        self._ever_active = True
+        self.trace.emit(self.sim.now, "lease.renewed", self.endpoint.name,
+                        server=self.server, start_local=self._lease_start_local)
+        if not was_active and was_ever:
+            self.trace.emit(self.sim.now, "lease.reconnect", self.endpoint.name,
+                            server=self.server)
+            self.callbacks.on_reconnected()
+        self._wake()
+
+    def on_nack(self) -> None:
+        """The server refused to ACK (§3.3): cache is invalid; go suspect."""
+        self.nacks_seen += 1
+        if not self._active:
+            return
+        self._nacked = True
+        self.trace.emit(self.sim.now, "lease.nack", self.endpoint.name,
+                        server=self.server)
+        self._wake()
+
+    # -- daemon -------------------------------------------------------------
+    def _wake(self) -> None:
+        if not self._kick.triggered:
+            self._kick.succeed()
+
+    def _note_phase(self, phase: LeasePhase) -> None:
+        now = self.sim.now
+        if self._last_phase is not None:
+            self.phase_time[self._last_phase] += now - self._last_phase_since
+        self._last_phase = phase
+        self._last_phase_since = now
+
+    def finalize_accounting(self) -> None:
+        """Close the open phase interval (call before reading phase_time)."""
+        self._note_phase(self._last_phase or self.phase())
+
+    def _run(self) -> Generator[Event, object, None]:
+        b = self.contract.boundaries
+        announced: Optional[LeasePhase] = None
+        while True:
+            if not self._active:
+                if self._last_phase != LeasePhase.EXPIRED:
+                    self._note_phase(LeasePhase.EXPIRED)
+                # Disconnected (or never connected): probe for a server.
+                if self._ever_active:
+                    self.callbacks.send_keepalive()
+                self._kick = self.sim.event()
+                yield self.sim.any_of([
+                    self._kick,
+                    self.endpoint.local_timeout(self.probe_interval_local)])
+                announced = None
+                continue
+
+            phase = self.phase()
+            if phase != announced:
+                self._note_phase(phase)
+                self.trace.emit(self.sim.now, "lease.phase", self.endpoint.name,
+                                server=self.server, phase=int(phase))
+                if phase == LeasePhase.SUSPECT:
+                    self.callbacks.on_enter_suspect()
+                elif phase == LeasePhase.FLUSH:
+                    self.callbacks.on_enter_flush()
+                elif phase == LeasePhase.EXPIRED:
+                    self._expire()
+                    announced = None
+                    continue
+                elif phase == LeasePhase.VALID and announced in (
+                        LeasePhase.SUSPECT, LeasePhase.FLUSH):
+                    self.callbacks.on_resume_service()
+                announced = phase
+
+            assert self._lease_start_local is not None
+            now_local = self.endpoint.local_now()
+            if self._nacked:
+                b_index = {LeasePhase.SUSPECT: 4, LeasePhase.FLUSH: 5}.get(phase, 5)
+                next_local = self.contract.phase_start_local(self._lease_start_local, b_index)
+            else:
+                next_local = self.contract.phase_start_local(
+                    self._lease_start_local, int(phase) + 1)
+            wait_local = max(next_local - now_local, 0.0)
+
+            if phase == LeasePhase.RENEWAL:
+                # Actively try to obtain a new lease with NULL keep-alives.
+                self.callbacks.send_keepalive()
+                wait_local = min(wait_local, self.contract.keepalive_interval_local())
+
+            self._kick = self.sim.event()
+            yield self.sim.any_of([
+                self._kick,
+                self.endpoint.local_timeout(wait_local + 1e-9)])
+
+    def _expire(self) -> None:
+        self._active = False
+        self._nacked = False
+        self.expirations += 1
+        self.trace.emit(self.sim.now, "lease.expire", self.endpoint.name,
+                        server=self.server)
+        self.callbacks.on_expired()

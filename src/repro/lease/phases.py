@@ -1,0 +1,39 @@
+"""The client's lease phases (paper Fig. 4)."""
+
+from __future__ import annotations
+
+import enum
+
+
+class LeasePhase(enum.IntEnum):
+    """Where the client stands inside (or past) its lease interval."""
+
+    VALID = 1          # lease valid; full service; renewed by any ACK
+    RENEWAL = 2        # no renewal seen; actively send keep-alives
+    SUSPECT = 3        # assume isolated: quiesce (no new requests)
+    FLUSH = 4          # expected failure: flush dirty data to the SAN
+    EXPIRED = 5        # lease dead: cache invalid, locks ceded
+
+    @property
+    def serves_new_requests(self) -> bool:
+        """Local processes get service only in phases 1-2 (§3.2)."""
+        return self in (LeasePhase.VALID, LeasePhase.RENEWAL)
+
+    @property
+    def cache_usable(self) -> bool:
+        """Cached data may back reads until the lease expires."""
+        return self != LeasePhase.EXPIRED
+
+
+def phase_for_elapsed(elapsed_frac: float, renewal: float, suspect: float,
+                      flush: float) -> LeasePhase:
+    """Phase as a function of elapsed lease fraction."""
+    if elapsed_frac < renewal:
+        return LeasePhase.VALID
+    if elapsed_frac < suspect:
+        return LeasePhase.RENEWAL
+    if elapsed_frac < flush:
+        return LeasePhase.SUSPECT
+    if elapsed_frac < 1.0:
+        return LeasePhase.FLUSH
+    return LeasePhase.EXPIRED

@@ -1,0 +1,30 @@
+"""Logical data locks (paper §1.2, §5).
+
+Storage Tank locking is *logical* — locks name distributed data
+structures (files), not disk address ranges like the GFS ``dlock``.
+Clients cache locks across operations; the server demands them back when
+another client conflicts, and *steals* them (stops honoring them without
+the holder's consent) only under the lease protocol's safety rules.
+
+:mod:`repro.locks.modes` defines modes and compatibility,
+:mod:`repro.locks.manager` the server-side lock table with waiter
+queues, demand callbacks and the steal operation,
+:mod:`repro.locks.client_table` the client-side cached-lock view.
+"""
+
+from repro.locks.client_table import ClientLockTable
+from repro.locks.manager import LockGrant, LockManager
+from repro.locks.modes import LockMode, compatible, satisfies
+from repro.locks.ranges import ByteRange, RangeGrant, RangeLockManager
+
+__all__ = [
+    "ByteRange",
+    "ClientLockTable",
+    "LockGrant",
+    "LockManager",
+    "LockMode",
+    "RangeGrant",
+    "RangeLockManager",
+    "compatible",
+    "satisfies",
+]

@@ -1,0 +1,59 @@
+"""Client-side view of cached locks.
+
+Clients cache locks across operations (the paper's clients "still cache
+data and hold locks" while idle, §3.1) and must drop them all when the
+lease that protects them expires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.locks.modes import LockMode, satisfies
+
+
+@dataclass
+class ClientLockTable:
+    """Locks this client believes it holds, per server."""
+
+    _held: Dict[int, LockMode] = field(default_factory=dict)
+
+    def note_granted(self, obj: int, mode: LockMode) -> None:
+        """Record a server grant (strongest mode wins)."""
+        cur = self._held.get(obj, LockMode.NONE)
+        if mode > cur:
+            self._held[obj] = mode
+
+    def note_released(self, obj: int) -> None:
+        """Forget a lock after voluntary release or revocation."""
+        self._held.pop(obj, None)
+
+    def note_downgraded(self, obj: int, to: LockMode) -> None:
+        """Record a downgrade."""
+        if obj in self._held and to < self._held[obj]:
+            if to == LockMode.NONE:
+                self._held.pop(obj)
+            else:
+                self._held[obj] = to
+
+    def covers(self, obj: int, mode: LockMode) -> bool:
+        """Whether a held mode satisfies the wanted one."""
+        return satisfies(self._held.get(obj, LockMode.NONE), mode)
+
+    def mode_of(self, obj: int) -> LockMode:
+        """Held mode for an object (NONE if not held)."""
+        return self._held.get(obj, LockMode.NONE)
+
+    def all_held(self) -> List[Tuple[int, LockMode]]:
+        """Snapshot of everything held."""
+        return list(self._held.items())
+
+    def drop_all(self) -> List[Tuple[int, LockMode]]:
+        """Forget every lock (lease expiry); returns what was dropped."""
+        dropped = list(self._held.items())
+        self._held.clear()
+        return dropped
+
+    def __len__(self) -> int:
+        return len(self._held)

@@ -1,0 +1,39 @@
+"""Lock modes and their compatibility matrix."""
+
+from __future__ import annotations
+
+import enum
+
+
+class LockMode(enum.IntEnum):
+    """Data lock strength, ordered so stronger modes compare greater."""
+
+    NONE = 0
+    SHARED = 1      # permits cached reads
+    EXCLUSIVE = 2   # permits cached reads and write-back writes
+
+    @property
+    def short(self) -> str:
+        """One-letter name used in traces."""
+        return {LockMode.NONE: "-", LockMode.SHARED: "S", LockMode.EXCLUSIVE: "X"}[self]
+
+
+#: compatibility[(a, b)] — may one client hold ``a`` while another holds ``b``?
+_COMPAT = {
+    (LockMode.SHARED, LockMode.SHARED): True,
+    (LockMode.SHARED, LockMode.EXCLUSIVE): False,
+    (LockMode.EXCLUSIVE, LockMode.SHARED): False,
+    (LockMode.EXCLUSIVE, LockMode.EXCLUSIVE): False,
+}
+
+
+def compatible(a: LockMode, b: LockMode) -> bool:
+    """Whether two holders' modes may coexist on one object."""
+    if a == LockMode.NONE or b == LockMode.NONE:
+        return True
+    return _COMPAT[(a, b)]
+
+
+def satisfies(held: LockMode, wanted: LockMode) -> bool:
+    """Whether an already-held mode covers a requested one."""
+    return held >= wanted

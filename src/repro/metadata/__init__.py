@@ -1,0 +1,28 @@
+"""Server-private file system metadata (paper §1.1).
+
+Metadata and data are stored separately: the shared SAN disks hold only
+file data blocks, while inodes, the namespace and block locations live
+on the server's private high-performance store.  Clients obtain metadata
+— in particular each file's :class:`~repro.storage.blockmap.ExtentMap`
+— over the control network, then perform data I/O directly to the SAN.
+
+Metadata is only *weakly consistent* across clients (paper §3 footnote):
+a modification by one process is guaranteed to reach other processes'
+views eventually, never instantaneously.  Each inode carries a version
+counter so staleness is observable.
+"""
+
+from repro.metadata.allocator import AllocationError, ExtentAllocator
+from repro.metadata.directory import Directory, NamespaceError
+from repro.metadata.inode import FileAttributes, Inode
+from repro.metadata.store import MetadataStore
+
+__all__ = [
+    "AllocationError",
+    "Directory",
+    "ExtentAllocator",
+    "FileAttributes",
+    "Inode",
+    "MetadataStore",
+    "NamespaceError",
+]

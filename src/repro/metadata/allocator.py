@@ -1,0 +1,132 @@
+"""Extent allocation on the shared SAN disks.
+
+The server allocates file data blocks (paper §1.1: servers "run
+distributed protocols for ... the allocation of file data").  A next-fit
+cursor per device with round-robin across devices keeps files spread
+over the SAN, and a free list accepts deallocations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.storage.blockmap import Extent
+
+
+class AllocationError(Exception):
+    """No device can satisfy the request."""
+
+
+@dataclass
+class _DeviceSpace:
+    capacity: int
+    base: int = 0          # first lba this allocator owns on the device
+    cursor: int = 0        # relative to base
+    free_runs: Optional[List[Tuple[int, int]]] = None  # absolute (start, length)
+
+    def __post_init__(self) -> None:
+        if self.free_runs is None:
+            self.free_runs = []
+
+    @property
+    def remaining_fresh(self) -> int:
+        return self.capacity - self.cursor
+
+    @property
+    def total_free(self) -> int:
+        assert self.free_runs is not None
+        return self.remaining_fresh + sum(l for _s, l in self.free_runs)
+
+
+class ExtentAllocator:
+    """Round-robin next-fit allocator over multiple devices."""
+
+    def __init__(self) -> None:
+        self._devices: Dict[str, _DeviceSpace] = {}
+        self._order: List[str] = []
+        self._next_device = 0
+        self.allocated_blocks = 0
+        self.freed_blocks = 0
+
+    def add_device(self, name: str, capacity_blocks: int,
+                   base_lba: int = 0) -> None:
+        """Register a device's block space with the allocator.
+
+        ``base_lba`` lets several allocators (one per server) own
+        disjoint regions of the same shared disk.
+        """
+        if name in self._devices:
+            raise ValueError(f"duplicate device {name!r}")
+        if capacity_blocks <= 0:
+            raise ValueError("capacity must be positive")
+        if base_lba < 0:
+            raise ValueError("base_lba must be non-negative")
+        self._devices[name] = _DeviceSpace(capacity=capacity_blocks,
+                                           base=base_lba)
+        self._order.append(name)
+
+    @property
+    def total_free_blocks(self) -> int:
+        """Free blocks across all devices."""
+        return sum(d.total_free for d in self._devices.values())
+
+    def allocate(self, n_blocks: int) -> List[Extent]:
+        """Allocate ``n_blocks``, possibly as multiple extents.
+
+        Raises :class:`AllocationError` if total free space is short.
+        """
+        if n_blocks <= 0:
+            raise ValueError(f"n_blocks must be positive, got {n_blocks}")
+        if not self._order:
+            raise AllocationError("no devices registered")
+        if self.total_free_blocks < n_blocks:
+            raise AllocationError(f"need {n_blocks} blocks, "
+                                  f"{self.total_free_blocks} free")
+        out: List[Extent] = []
+        remaining = n_blocks
+        attempts = 0
+        while remaining > 0:
+            dev_name = self._order[self._next_device % len(self._order)]
+            self._next_device += 1
+            attempts += 1
+            space = self._devices[dev_name]
+            got = self._alloc_on(dev_name, space, remaining)
+            if got is not None:
+                out.append(got)
+                remaining -= got.length
+                attempts = 0
+            elif attempts >= len(self._order):
+                # One full round with no progress — should be unreachable
+                # given the total_free check, kept as a safety net.
+                raise AllocationError("allocator made no progress")
+        self.allocated_blocks += n_blocks
+        return out
+
+    def _alloc_on(self, name: str, space: _DeviceSpace, want: int) -> Optional[Extent]:
+        assert space.free_runs is not None
+        # Prefer recycled runs.
+        for i, (start, length) in enumerate(space.free_runs):
+            take = min(length, want)
+            if take == length:
+                space.free_runs.pop(i)
+            else:
+                space.free_runs[i] = (start + take, length - take)
+            return Extent(device=name, start_lba=start, length=take)
+        take = min(space.remaining_fresh, want)
+        if take <= 0:
+            return None
+        ext = Extent(device=name, start_lba=space.base + space.cursor,
+                     length=take)
+        space.cursor += take
+        return ext
+
+    def free(self, extents: List[Extent]) -> None:
+        """Return extents to their devices' free lists."""
+        for ext in extents:
+            space = self._devices.get(ext.device)
+            if space is None:
+                raise KeyError(f"unknown device {ext.device!r}")
+            assert space.free_runs is not None
+            space.free_runs.append((ext.start_lba, ext.length))
+            self.freed_blocks += ext.length

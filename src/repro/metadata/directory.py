@@ -1,0 +1,75 @@
+"""A flat hierarchical namespace mapping paths to file ids."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+
+class NamespaceError(Exception):
+    """Lookup/create/unlink failure in the namespace."""
+
+
+def _normalize(path: str) -> str:
+    if not path or not path.startswith("/"):
+        raise NamespaceError(f"paths must be absolute, got {path!r}")
+    parts = [p for p in path.split("/") if p]
+    return "/" + "/".join(parts)
+
+
+class Directory:
+    """Path → file-id namespace with implicit directories.
+
+    Storage Tank's namespace lives on the server's private store; clients
+    never parse directories themselves, they send lookups over the
+    control network.  Implicit directories keep the model small while
+    still letting workloads use realistic hierarchical paths.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, int] = {}
+
+    def create(self, path: str, file_id: int) -> None:
+        """Bind a path to a file id."""
+        norm = _normalize(path)
+        if norm in self._entries:
+            raise NamespaceError(f"path exists: {norm}")
+        self._entries[norm] = file_id
+
+    def lookup(self, path: str) -> int:
+        """Resolve a path or raise :class:`NamespaceError`."""
+        norm = _normalize(path)
+        fid = self._entries.get(norm)
+        if fid is None:
+            raise NamespaceError(f"no such file: {norm}")
+        return fid
+
+    def exists(self, path: str) -> bool:
+        """Whether the path is bound."""
+        return _normalize(path) in self._entries
+
+    def unlink(self, path: str) -> int:
+        """Remove a binding, returning the file id it had."""
+        norm = _normalize(path)
+        try:
+            return self._entries.pop(norm)
+        except KeyError:
+            raise NamespaceError(f"no such file: {norm}") from None
+
+    def listdir(self, prefix: str = "/") -> List[str]:
+        """Paths directly under a directory prefix."""
+        norm = _normalize(prefix)
+        base = norm if norm.endswith("/") else norm + "/"
+        if norm == "/":
+            base = "/"
+        seen = set()
+        for p in self._entries:
+            if p.startswith(base):
+                rest = p[len(base):]
+                seen.add(base + rest.split("/")[0])
+        return sorted(seen)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._entries))

@@ -1,0 +1,63 @@
+"""Inodes: per-file metadata records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from repro.storage.blockmap import BLOCK_SIZE, ExtentMap
+
+
+@dataclass(frozen=True)
+class FileAttributes:
+    """The externally visible attribute set (getattr/setattr payload)."""
+
+    size: int = 0
+    mtime: float = 0.0
+    ctime: float = 0.0
+    mode: int = 0o644
+    version: int = 0
+
+    def to_payload(self) -> Dict[str, float]:
+        """Wire form for control-network replies."""
+        return {"size": self.size, "mtime": self.mtime, "ctime": self.ctime,
+                "mode": self.mode, "version": self.version}
+
+    @staticmethod
+    def from_payload(p: Dict) -> "FileAttributes":
+        """Parse the wire form."""
+        return FileAttributes(size=int(p["size"]), mtime=float(p["mtime"]),
+                              ctime=float(p["ctime"]), mode=int(p["mode"]),
+                              version=int(p["version"]))
+
+
+@dataclass
+class Inode:
+    """One file's full metadata record on the server's private store."""
+
+    file_id: int
+    attrs: FileAttributes = field(default_factory=FileAttributes)
+    extents: ExtentMap = field(default_factory=ExtentMap)
+    nlink: int = 1
+
+    @property
+    def allocated_bytes(self) -> int:
+        """Capacity currently mapped to SAN blocks."""
+        return self.extents.size_bytes
+
+    def touch(self, now: float) -> None:
+        """Bump mtime and the metadata version counter."""
+        self.attrs = replace(self.attrs, mtime=now, version=self.attrs.version + 1)
+
+    def set_size(self, size: int, now: float) -> None:
+        """Record a new logical size (allocation is the allocator's job)."""
+        if size < 0:
+            raise ValueError(f"negative size {size}")
+        self.attrs = replace(self.attrs, size=size, mtime=now,
+                             version=self.attrs.version + 1)
+
+    def needs_allocation(self, size: int) -> int:
+        """Additional blocks required to back ``size`` bytes, or 0."""
+        need = (size + BLOCK_SIZE - 1) // BLOCK_SIZE
+        have = self.extents.block_count
+        return max(0, need - have)

@@ -1,0 +1,540 @@
+"""The control network: connection-less datagram transport plus the
+request/ACK/NACK endpoint discipline of paper §3.
+
+The network itself only knows reachability (a directional blocked-pair
+set, so asymmetric partitions are expressible), delay and loss.  All
+protocol behaviour — retries, at-most-once execution, ACK/NACK, the
+hooks the lease protocol attaches to — lives in :class:`Endpoint`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generator, List, Optional, Set, Tuple
+
+from repro.net.message import (
+    Ack,
+    DeliveryError,
+    Message,
+    MsgKind,
+    Nack,
+    NackError,
+)
+from repro.sim.clock import LocalClock
+from repro.sim.events import Event
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import TraceRecorder
+
+# A request handler may return a decision tuple directly, or a generator
+# that the endpoint runs as a process and whose return value is the
+# decision tuple.  Decisions: ("ack", payload), ("nack", payload),
+# ("silent", None).
+HandlerResult = Tuple[str, Optional[Dict[str, Any]]]
+Handler = Callable[[Message], Any]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Sender-side datagram retry discipline (local-clock seconds).
+
+    ``pending_timeout`` bounds how long a requester waits for the final
+    result of a transaction the receiver acknowledged as *pending*
+    (deferred lock grants can legitimately take a full lease interval).
+    """
+
+    timeout: float = 1.0
+    retries: int = 3
+    pending_timeout: float = 120.0
+
+    @property
+    def attempts(self) -> int:
+        """Total number of transmissions."""
+        return self.retries + 1
+
+
+class ControlNetwork:
+    """Datagram fabric between named nodes.
+
+    Reachability is directional: ``block(a, b)`` stops a→b datagrams
+    only, which is how asymmetric partitions (paper §2) are modelled.
+    """
+
+    def __init__(self, sim: Simulator, streams: RandomStreams,
+                 trace: Optional[TraceRecorder] = None,
+                 base_delay: float = 0.001, jitter: float = 0.0005,
+                 drop_probability: float = 0.0):
+        self.sim = sim
+        self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+        self.base_delay = base_delay
+        self.jitter = jitter
+        self.drop_probability = drop_probability
+        self._rng = streams.get("net.control")
+        self._endpoints: Dict[str, "Endpoint"] = {}
+        self._blocked: Set[Tuple[str, str]] = set()
+        self.delivered_count = 0
+        self.dropped_count = 0
+        self.bytes_delivered = 0
+
+    # -- membership ---------------------------------------------------------
+    def attach(self, endpoint: "Endpoint") -> None:
+        """Register an endpoint under its node name."""
+        if endpoint.name in self._endpoints:
+            raise ValueError(f"duplicate endpoint {endpoint.name!r}")
+        self._endpoints[endpoint.name] = endpoint
+
+    @property
+    def node_names(self) -> List[str]:
+        """All attached node names."""
+        return list(self._endpoints)
+
+    # -- reachability -------------------------------------------------------
+    def block(self, src: str, dst: str) -> None:
+        """Stop delivering src→dst datagrams (directional)."""
+        self._blocked.add((src, dst))
+
+    def unblock(self, src: str, dst: str) -> None:
+        """Restore src→dst delivery."""
+        self._blocked.discard((src, dst))
+
+    def block_pair(self, a: str, b: str) -> None:
+        """Symmetric cut between two nodes."""
+        self.block(a, b)
+        self.block(b, a)
+
+    def unblock_pair(self, a: str, b: str) -> None:
+        """Heal a symmetric cut."""
+        self.unblock(a, b)
+        self.unblock(b, a)
+
+    def heal_all(self) -> None:
+        """Remove every block."""
+        self._blocked.clear()
+
+    def reachable(self, src: str, dst: str) -> bool:
+        """Whether a datagram sent now from src would arrive at dst."""
+        return (src, dst) not in self._blocked
+
+    def blocked_pairs(self) -> Set[Tuple[str, str]]:
+        """Snapshot of directional blocks."""
+        return set(self._blocked)
+
+    # -- transmission ---------------------------------------------------------
+    def _delay(self) -> float:
+        if self.jitter <= 0:
+            return self.base_delay
+        return self.base_delay + float(self._rng.exponential(self.jitter))
+
+    def transmit(self, msg: Message) -> None:
+        """Send one datagram.  Loss and partitions silently drop it."""
+        sender = self._endpoints.get(msg.src)
+        if sender is not None and not sender.alive:
+            # A crashed node neither receives nor sends: processes that
+            # were mid-request when it died just spin into the void.
+            self.dropped_count += 1
+            return
+        self.trace.emit(self.sim.now, "msg.send", msg.src,
+                        msg_kind=msg.kind, dst=msg.dst, msg_id=msg.msg_id, seq=msg.seq)
+        if not self.reachable(msg.src, msg.dst):
+            self.dropped_count += 1
+            self.trace.emit(self.sim.now, "msg.blocked", msg.src, dst=msg.dst, msg_kind=msg.kind)
+            return
+        if self.drop_probability > 0 and self._rng.random() < self.drop_probability:
+            self.dropped_count += 1
+            self.trace.emit(self.sim.now, "msg.dropped", msg.src, dst=msg.dst, msg_kind=msg.kind)
+            return
+        target = self._endpoints.get(msg.dst)
+        if target is None:
+            self.dropped_count += 1
+            return
+        delay = self._delay()
+
+        def deliver(_ev: Event, target=target, msg=msg) -> None:
+            # A partition may have formed while the datagram was in flight;
+            # model cut links by re-checking at delivery time.
+            if not self.reachable(msg.src, msg.dst) or not target.alive:
+                self.dropped_count += 1
+                self.trace.emit(self.sim.now, "msg.dropped", msg.src, dst=msg.dst, msg_kind=msg.kind)
+                return
+            self.delivered_count += 1
+            self.bytes_delivered += msg.size_bytes()
+            self.trace.emit(self.sim.now, "msg.recv", msg.dst,
+                            msg_kind=msg.kind, src=msg.src, msg_id=msg.msg_id, seq=msg.seq)
+            target._on_datagram(msg)
+
+        ev = self.sim.event()
+        assert ev.callbacks is not None
+        ev.callbacks.append(deliver)
+        ev.succeed(delay=delay)
+
+
+class Endpoint:
+    """A node's attachment to the control network.
+
+    Provides the paper's messaging discipline:
+
+    - per-destination request sequence numbers and receiver-side
+      *at-most-once* execution with cached replies (§3: "version numbers
+      for at most once delivery semantics");
+    - sender-side retry with local-clock timeouts, surfacing
+      :class:`DeliveryError` after the policy is exhausted — the event
+      that makes a server declare a client *suspect*;
+    - ACK/NACK dispatch plus listener hooks the lease protocol uses
+      (opportunistic renewal rides on every ACK, §3.1);
+    - an optional *gatekeeper* consulted before any inbound request is
+      executed — the server lease authority uses it to refuse ACKs and
+      send NACKs while timing a client out (§3.3).
+    """
+
+    def __init__(self, sim: Simulator, net: ControlNetwork, name: str,
+                 clock: LocalClock, trace: Optional[TraceRecorder] = None,
+                 default_policy: Optional[RetryPolicy] = None,
+                 dedup_capacity: int = 4096):
+        self.sim = sim
+        self.net = net
+        self.name = name
+        self.clock = clock
+        self.trace = trace if trace is not None else net.trace
+        self.default_policy = default_policy or RetryPolicy()
+        self.alive = True
+
+        self._handlers: Dict[str, Handler] = {}
+        self._gatekeeper: Optional[Callable[[Message], Optional[str]]] = None
+        self._pending: Dict[int, Event] = {}
+        self._pending_results: Dict[int, Event] = {}
+        # Results that arrived before their pending-ACK (datagram reordering).
+        self._early_results: Dict[int, Tuple[str, Dict[str, Any]]] = {}
+        self._next_seq = 0
+        self._dedup_capacity = dedup_capacity
+        # (src, seq) -> ("done", decision, payload) | ("in_progress", None, None)
+        self._executed: Dict[Tuple[str, int], Tuple[str, Optional[str], Optional[Dict[str, Any]]]] = {}
+        self._executed_order: List[Tuple[str, int]] = []
+
+        self.ack_listeners: List[Callable[[Message, float], None]] = []
+        self.nack_listeners: List[Callable[[Message], None]] = []
+        self.delivery_failure_listeners: List[Callable[[str, Message], None]] = []
+
+        net.attach(self)
+
+    # -- configuration ---------------------------------------------------------
+    def register(self, kind: str, handler: Handler) -> None:
+        """Install the handler for an inbound request kind."""
+        self._handlers[kind] = handler
+
+    def set_gatekeeper(self, fn: Optional[Callable[[Message], Optional[str]]]) -> None:
+        """Install the pre-execution gate (return ``"nack"``/``"silent"``/None)."""
+        self._gatekeeper = fn
+
+    def crash(self) -> None:
+        """Stop receiving and lose volatile transport state.
+
+        The replay (at-most-once) cache and deferred-result plumbing are
+        in-memory: they die with the node.  Survivors re-polling a
+        transaction that was in progress here will find no record and
+        trigger a fresh execution after restart — exactly the recovery
+        path §6's reassertion design expects.
+        """
+        self.alive = False
+        self._executed.clear()
+        self._executed_order.clear()
+        self._pending_results.clear()
+        self._early_results.clear()
+        # Note: self._pending (reply events of *this node's own* in-flight
+        # requests) is left intact.  The kernel cannot kill the arbitrary
+        # processes driving those requests; their sends are suppressed
+        # while the node is down, and letting the stragglers complete
+        # after a restart is harmless — receivers treat them as ordinary
+        # duplicates/late traffic.
+
+    def restart(self) -> None:
+        """Resume receiving after a crash."""
+        self.alive = True
+
+    # -- local time ---------------------------------------------------------
+    def local_now(self) -> float:
+        """This node's local-clock reading."""
+        return self.clock.local_time(self.sim.now)
+
+    def local_timeout(self, local_interval: float, value: Any = None):
+        """A timeout measured on this node's local clock."""
+        return self.sim.timeout(self.clock.to_global_interval(local_interval), value)
+
+    # -- sending ----------------------------------------------------------------
+    def send_datagram(self, msg: Message) -> None:
+        """Fire-and-forget transmit (used for ACK/NACK replies)."""
+        self.net.transmit(msg)
+
+    def request(self, dst: str, kind: str,
+                payload: Optional[Dict[str, Any]] = None,
+                policy: Optional[RetryPolicy] = None,
+                ) -> Generator[Event, Any, Message]:
+        """Send a request and wait for its ACK (process generator).
+
+        Returns the ACK message.  Raises :class:`NackError` on NACK and
+        :class:`DeliveryError` when every attempt times out.
+
+        Every transmission — first send, retry, or pending re-poll — is a
+        *fresh message initiation* under the lease contract: it gets its
+        own msg_id and its own local send time, and an ACK renews from
+        the send time of the exact attempt it answers (Fig. 3: t_C1 must
+        provably precede the server's reply, which only holds for the
+        matched attempt).  The receiver's at-most-once key is (src, seq),
+        which all attempts share.
+        """
+        pol = policy or self.default_policy
+        self._next_seq += 1
+        msg = Message(src=self.name, dst=dst, kind=kind,
+                      payload=dict(payload or {}), seq=self._next_seq)
+        msg.sent_local_time = self.local_now()
+        reply_ev = self.sim.event()
+        attempt_times: Dict[int, float] = {}
+        attempt_ids: List[int] = []
+
+        def transmit_attempt(first: bool = False) -> None:
+            # Each attempt is its own datagram object: earlier copies may
+            # still be in flight and must keep their identity.
+            attempt = msg if first else Message(
+                src=msg.src, dst=msg.dst, kind=msg.kind,
+                payload=msg.payload, seq=msg.seq)
+            attempt.sent_local_time = self.local_now()
+            attempt_times[attempt.msg_id] = attempt.sent_local_time
+            attempt_ids.append(attempt.msg_id)
+            self._pending[attempt.msg_id] = reply_ev
+            self.net.transmit(attempt)
+
+        def renewal_time_for(reply: Message) -> float:
+            return attempt_times.get(reply.reply_to or -1,
+                                     msg.sent_local_time)
+
+        try:
+            first = True
+            for _attempt in range(pol.attempts):
+                transmit_attempt(first)
+                first = False
+                timeout_ev = self.local_timeout(pol.timeout)
+                outcome = yield self.sim.any_of([reply_ev, timeout_ev])
+                if reply_ev in outcome:
+                    reply: Message = reply_ev.value
+                    if reply.kind == MsgKind.NACK:
+                        for fn in self.nack_listeners:
+                            fn(reply)
+                        raise NackError(msg, reply)
+                    for fn in self.ack_listeners:
+                        fn(reply, renewal_time_for(reply))
+                    if reply.payload.get("__pending__"):
+                        final = yield from self._await_result(
+                            msg, int(reply.payload["__ticket__"]), pol,
+                            attempt_times, attempt_ids)
+                        return final
+                    return reply
+            for fn in self.delivery_failure_listeners:
+                fn(dst, msg)
+            raise DeliveryError(msg, pol.attempts)
+        finally:
+            for mid in attempt_ids:
+                self._pending.pop(mid, None)
+
+    def _await_result(self, msg: Message, ticket: int, pol: RetryPolicy,
+                      attempt_times: Dict[int, float],
+                      attempt_ids: List[int],
+                      ) -> Generator[Event, Any, Message]:
+        """Wait for a deferred-transaction result, re-polling the server.
+
+        While pending, the original datagram is periodically re-sent: a
+        live server re-acknowledges "still pending" from its replay
+        cache, while a *restarted* server (which lost the in-progress
+        entry) re-executes the transaction under a fresh ticket.  The
+        poll is what lets a client ride out a server crash instead of
+        sleeping through the whole ``pending_timeout``.
+        """
+        def fresh_result_event(tk: int) -> Event:
+            ev = self.sim.event()
+            early = self._early_results.pop(tk, None)
+            if early is not None:
+                ev.succeed(early)
+            self._pending_results[tk] = ev
+            return ev
+
+        result_ev = fresh_result_event(ticket)
+        deadline_local = self.local_now() + pol.pending_timeout
+        poll_local = max(pol.timeout * 2.0, 1e-6)
+        try:
+            while True:
+                remaining = deadline_local - self.local_now()
+                # Floor at a microsecond: a sub-epsilon remainder cannot
+                # advance the float timeline and would spin forever.
+                if remaining <= 1e-6:
+                    raise DeliveryError(msg, pol.attempts)
+                reply_ev = self.sim.event()
+                for mid in attempt_ids:
+                    self._pending[mid] = reply_ev
+                timeout_ev = self.local_timeout(
+                    max(min(poll_local, remaining), 1e-6))
+                outcome = yield self.sim.any_of(
+                    [result_ev, reply_ev, timeout_ev])
+                if result_ev in outcome:
+                    decision, payload = result_ev.value
+                    if decision == "nack":
+                        nack = Nack(msg.dst, self.name, msg.msg_id,
+                                    payload=payload)
+                        for fn in self.nack_listeners:
+                            fn(nack)
+                        raise NackError(msg, nack)
+                    return Ack(msg.dst, self.name, msg.msg_id, payload=payload)
+                if reply_ev in outcome:
+                    reply: Message = reply_ev.value
+                    if reply.kind == MsgKind.NACK:
+                        for fn in self.nack_listeners:
+                            fn(reply)
+                        raise NackError(msg, reply)
+                    for fn in self.ack_listeners:
+                        fn(reply, attempt_times.get(reply.reply_to or -1,
+                                                    msg.sent_local_time))
+                    if reply.payload.get("__pending__"):
+                        new_ticket = int(reply.payload["__ticket__"])
+                        if new_ticket != ticket:
+                            self._pending_results.pop(ticket, None)
+                            ticket = new_ticket
+                            result_ev = fresh_result_event(ticket)
+                        continue
+                    return reply  # re-execution answered directly
+                # Poll timeout: a fresh initiation nudging the server (its
+                # ACK renews the lease from this new send time).
+                poll_msg = Message(src=msg.src, dst=msg.dst, kind=msg.kind,
+                                   payload=msg.payload, seq=msg.seq)
+                poll_msg.sent_local_time = self.local_now()
+                attempt_times[poll_msg.msg_id] = poll_msg.sent_local_time
+                attempt_ids.append(poll_msg.msg_id)
+                self._pending[poll_msg.msg_id] = reply_ev
+                self.net.transmit(poll_msg)
+        finally:
+            self._pending_results.pop(ticket, None)
+
+    # -- receiving -----------------------------------------------------------
+    def _on_datagram(self, msg: Message) -> None:
+        if msg.is_reply():
+            ev = self._pending.get(msg.reply_to or -1)
+            if ev is not None and not ev.triggered:
+                ev.succeed(msg)
+            # Replies to forgotten/duplicate requests are dropped silently.
+            return
+        self._on_request(msg)
+
+    def _on_request(self, msg: Message) -> None:
+        if self._gatekeeper is not None:
+            verdict = self._gatekeeper(msg)
+            if verdict == "nack":
+                # A gatekeeper NACK is the §3.3 lease signal ("your cache
+                # is invalid; I will not renew you") — distinct from an
+                # application-level error reply, which must NOT make the
+                # client abandon its lease.
+                self.send_datagram(Nack(self.name, msg.src, msg.msg_id,
+                                        payload={"__lease_nack__": True}))
+                return
+            if verdict == "silent":
+                return
+
+        if msg.kind == MsgKind.RESULT:
+            self._h_result(msg)
+            return
+
+        key = (msg.src, msg.seq)
+        cached = self._executed.get(key)
+        if cached is not None:
+            state, decision, payload = cached
+            if state == "pending":
+                # Re-acknowledge pending (the first pending ACK may be lost).
+                self.send_datagram(Ack(self.name, msg.src, msg.msg_id,
+                                       payload={"__pending__": True,
+                                                "__ticket__": decision}))
+                return
+            self._reply(msg, decision or "ack", payload)
+            return
+
+        handler = self._handlers.get(msg.kind)
+        if handler is None:
+            self.send_datagram(Nack(self.name, msg.src, msg.msg_id,
+                                    payload={"error": f"no handler for {msg.kind}"}))
+            return
+
+        result = handler(msg)
+        if hasattr(result, "send") and hasattr(result, "throw"):
+            # Deferred transaction: ACK receipt now, deliver the outcome
+            # later as a reliable server-initiated RESULT message.
+            ticket = msg.msg_id
+            self._remember(key, ("pending", ticket, None))
+            self.send_datagram(Ack(self.name, msg.src, msg.msg_id,
+                                   payload={"__pending__": True,
+                                            "__ticket__": ticket}))
+            self.sim.process(self._run_deferred(key, msg, ticket, result),
+                             name=f"{self.name}:{msg.kind}#{msg.seq}")
+        else:
+            decision, payload = self._normalize(result)
+            self._remember(key, ("done", decision, payload))
+            self._reply(msg, decision, payload)
+
+    def _h_result(self, msg: Message) -> None:
+        """Inbound deferred-transaction outcome (endpoint-level handler)."""
+        ticket = int(msg.payload["__ticket__"])
+        outcome = (msg.payload.get("__decision__", "ack"),
+                   dict(msg.payload.get("__payload__") or {}))
+        ev = self._pending_results.get(ticket)
+        if ev is not None:
+            if not ev.triggered:
+                ev.succeed(outcome)
+        else:
+            # Reordered ahead of the pending ACK; park it for _await_result.
+            self._early_results[ticket] = outcome
+            if len(self._early_results) > 256:
+                self._early_results.pop(next(iter(self._early_results)))
+        # Always acknowledge so the sender's retries stop; duplicates and
+        # results for abandoned requests are acknowledged-and-dropped.
+        self.send_datagram(Ack(self.name, msg.src, msg.msg_id))
+
+    def _run_deferred(self, key: Tuple[str, int], msg: Message, ticket: int,
+                      gen) -> Generator[Event, Any, None]:
+        proc = self.sim.process(gen, name=f"{self.name}:handler:{msg.kind}")
+        try:
+            result = yield proc
+            decision, payload = self._normalize(result)
+        except Exception as exc:
+            decision, payload = "nack", {"error": repr(exc)}
+        self._executed[key] = ("done", decision, payload)
+        # Reliable delivery of the outcome; a delivery failure here feeds
+        # the authority's suspect machinery like any server-initiated
+        # message (the requester may have partitioned while waiting).
+        def send_result() -> Generator[Event, Any, None]:
+            try:
+                yield from self.request(msg.src, MsgKind.RESULT,
+                                        {"__ticket__": ticket,
+                                         "__decision__": decision,
+                                         "__payload__": payload})
+            except (DeliveryError, NackError):
+                pass
+        self.sim.process(send_result(), name=f"{self.name}:result#{ticket}")
+
+    @staticmethod
+    def _normalize(result: Any) -> HandlerResult:
+        if result is None:
+            return ("ack", {})
+        if isinstance(result, tuple) and len(result) == 2:
+            return (result[0], result[1] or {})
+        raise TypeError(f"handler returned invalid decision {result!r}")
+
+    def _reply(self, msg: Message, decision: str, payload: Optional[Dict[str, Any]]) -> None:
+        if decision == "ack":
+            self.send_datagram(Ack(self.name, msg.src, msg.msg_id, payload=payload))
+        elif decision == "nack":
+            self.send_datagram(Nack(self.name, msg.src, msg.msg_id, payload=payload))
+        elif decision == "silent":
+            pass
+        else:
+            raise ValueError(f"unknown handler decision {decision!r}")
+
+    def _remember(self, key: Tuple[str, int], entry) -> None:
+        if key not in self._executed:
+            self._executed_order.append(key)
+            if len(self._executed_order) > self._dedup_capacity:
+                evict = self._executed_order.pop(0)
+                self._executed.pop(evict, None)
+        self._executed[key] = entry

@@ -1,0 +1,139 @@
+"""Control-network message vocabulary.
+
+Messages are datagrams (paper §3): no connections, no delivery
+guarantee.  Requests carry a per-sender sequence number so receivers can
+implement "at most once" execution, and every request is answered by an
+:class:`Ack` (carrying the reply payload) or a :class:`Nack` (the §3.3
+signal that the sender's cache is invalid and its lease will not renew).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+
+class MsgKind:
+    """Dotted message-kind constants used on the control network."""
+
+    # client → server file system transactions
+    OPEN = "fs.open"
+    CLOSE = "fs.close"
+    GETATTR = "fs.getattr"
+    SETATTR = "fs.setattr"
+    CREATE = "fs.create"
+    LOOKUP = "fs.lookup"
+    UNLINK = "fs.unlink"
+    READDIR = "fs.readdir"
+    ALLOC = "fs.alloc"
+
+    # client → server locking
+    LOCK_ACQUIRE = "lock.acquire"
+    LOCK_RELEASE = "lock.release"
+    LOCK_DOWNGRADE = "lock.downgrade"
+
+    # byte-range locking (sub-file sharing)
+    RANGE_ACQUIRE = "lock.range_acquire"
+    RANGE_RELEASE = "lock.range_release"
+    RANGE_DEMAND = "lock.range_demand"
+
+    # server → client lock revocation ("demand")
+    LOCK_DEMAND = "lock.demand"
+    CACHE_INVALIDATE = "cache.invalidate"
+
+    # lease protocol
+    KEEPALIVE = "lease.keepalive"          # NULL message, §3.2 phase 2
+    LEASE_RENEW = "lease.renew"            # V-system per-object renewal (§4 baseline)
+    HEARTBEAT = "lease.heartbeat"          # Frangipani-style heartbeat (§5 baseline)
+
+    # NFS-style polling (§5 baseline)
+    POLL_MTIME = "nfs.poll"
+    NFS_READ = "nfs.read"                  # function-shipped data read
+    NFS_WRITE = "nfs.write"                # function-shipped data write
+
+    # server-marshalled data path (traditional client/server FS, §1.1)
+    DATA_READ = "data.read"
+    DATA_WRITE = "data.write"
+
+    # transport
+    ACK = "transport.ack"
+    NACK = "transport.nack"
+    RESULT = "transport.result"   # final outcome of a deferred transaction
+
+
+_msg_counter = itertools.count(1)
+
+
+@dataclass
+class Message:
+    """One datagram on the control network.
+
+    ``seq`` is the per-sender sequence number used for at-most-once
+    execution; ``msg_id`` is globally unique for tracing and for matching
+    replies (``reply_to``).
+    """
+
+    src: str
+    dst: str
+    kind: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+    seq: int = 0
+    msg_id: int = field(default_factory=lambda: next(_msg_counter))
+    reply_to: Optional[int] = None
+    # Local send time stamped by the sender's clock — the lease start
+    # point t_C1 of Fig. 3.  Carried on the message object for the
+    # sender's own bookkeeping; the receiver never interprets it.
+    sent_local_time: float = 0.0
+
+    def is_reply(self) -> bool:
+        """True for ACK/NACK transport messages."""
+        return self.kind in (MsgKind.ACK, MsgKind.NACK)
+
+    def size_bytes(self) -> int:
+        """Rough wire size: fixed header plus payload data length.
+
+        Only data-carrying payload keys (``"data_bytes"``) contribute —
+        used by experiment E1 to show the server moves no file data in
+        the direct-access model.
+        """
+        return 64 + int(self.payload.get("data_bytes", 0))
+
+
+@dataclass
+class Ack(Message):
+    """Positive acknowledgment carrying the transaction reply payload."""
+
+    def __init__(self, src: str, dst: str, reply_to: int,
+                 payload: Optional[Dict[str, Any]] = None):
+        super().__init__(src=src, dst=dst, kind=MsgKind.ACK,
+                         payload=payload or {}, reply_to=reply_to)
+
+
+@dataclass
+class Nack(Message):
+    """Negative acknowledgment (§3.3): "you missed a message; your cache
+    is invalid; I will not renew your lease"."""
+
+    def __init__(self, src: str, dst: str, reply_to: int,
+                 payload: Optional[Dict[str, Any]] = None):
+        super().__init__(src=src, dst=dst, kind=MsgKind.NACK,
+                         payload=payload or {}, reply_to=reply_to)
+
+
+class DeliveryError(Exception):
+    """Raised to the sender when all retries of a request went unanswered."""
+
+    def __init__(self, msg: Message, attempts: int):
+        super().__init__(f"no reply to {msg.kind} {msg.src}->{msg.dst} after {attempts} attempts")
+        self.msg = msg
+        self.attempts = attempts
+
+
+class NackError(Exception):
+    """Raised to the sender when the receiver answered with a NACK."""
+
+    def __init__(self, msg: Message, nack: Message):
+        super().__init__(f"{msg.kind} {msg.src}->{msg.dst} was NACKed")
+        self.msg = msg
+        self.nack = nack

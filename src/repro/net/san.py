@@ -1,0 +1,204 @@
+"""The storage area network fabric.
+
+Connects initiators (clients and servers) to storage devices.  The
+fabric models transfer latency, fabric-level fencing (switch zoning —
+the alternative fencing point the paper mentions in §1.2), and SAN
+partitions, which are independent of control-network partitions: that
+independence is exactly what creates the paper's two-network problem.
+
+Device-level fencing lives on the disks themselves
+(:class:`repro.storage.fencing.FenceTable`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Set, Tuple
+
+from repro.sim.events import Event
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import TraceRecorder
+from repro.storage.blockmap import BLOCK_SIZE
+from repro.storage.disk import DiskReadResult, FencedIoError, VirtualDisk
+
+# Re-exported under the transport-flavoured name used by callers.
+FencedError = FencedIoError
+
+
+class SanUnreachableError(Exception):
+    """The fabric cannot route between initiator and device (SAN partition
+    or fabric-level fence)."""
+
+    def __init__(self, initiator: str, device: str):
+        super().__init__(f"SAN path {initiator} -> {device} unavailable")
+        self.initiator = initiator
+        self.device = device
+
+
+class SanFabric:
+    """Block-I/O transport between initiators and devices."""
+
+    def __init__(self, sim: Simulator, streams: RandomStreams,
+                 trace: Optional[TraceRecorder] = None,
+                 base_latency: float = 0.0005,
+                 per_block_latency: float = 0.00005,
+                 per_device_queueing: bool = False):
+        """``per_device_queueing=True`` serializes commands at each
+        device (single-server queue): concurrent I/O to one disk waits
+        its turn, which is what makes the disk — not the metadata
+        server — the throughput ceiling of the direct-access model."""
+        self.sim = sim
+        self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+        self.base_latency = base_latency
+        self.per_block_latency = per_block_latency
+        self.per_device_queueing = per_device_queueing
+        self._busy_until: Dict[str, float] = {}
+        self.queue_wait_total = 0.0
+        self._rng = streams.get("net.san")
+        self._devices: Dict[str, VirtualDisk] = {}
+        self._initiators: Set[str] = set()
+        self._blocked: Set[Tuple[str, str]] = set()
+        self._fabric_fenced: Set[str] = set()
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.io_count = 0
+
+    # -- membership ---------------------------------------------------------
+    def attach_device(self, disk: VirtualDisk) -> None:
+        """Register a storage device on the fabric."""
+        if disk.name in self._devices:
+            raise ValueError(f"duplicate device {disk.name!r}")
+        self._devices[disk.name] = disk
+
+    def attach_initiator(self, name: str) -> None:
+        """Register a computer that may issue block I/O."""
+        self._initiators.add(name)
+
+    def device(self, name: str) -> VirtualDisk:
+        """Look up an attached device."""
+        return self._devices[name]
+
+    @property
+    def devices(self) -> Dict[str, VirtualDisk]:
+        """All attached devices by name."""
+        return dict(self._devices)
+
+    @property
+    def node_names(self) -> List[str]:
+        """Initiators and devices (partition controller interface)."""
+        return sorted(self._initiators) + sorted(self._devices)
+
+    # -- reachability / zoning ---------------------------------------------
+    def block(self, src: str, dst: str) -> None:
+        """Cut one direction of a path (SAN partitions are modelled per
+        unordered pair; both directions are checked on I/O)."""
+        self._blocked.add((src, dst))
+
+    def unblock(self, src: str, dst: str) -> None:
+        """Restore one direction of a path."""
+        self._blocked.discard((src, dst))
+
+    def block_pair(self, a: str, b: str) -> None:
+        """Cut the path between an initiator and a device."""
+        self.block(a, b)
+        self.block(b, a)
+
+    def unblock_pair(self, a: str, b: str) -> None:
+        """Heal the path between two endpoints."""
+        self.unblock(a, b)
+        self.unblock(b, a)
+
+    def heal_all(self) -> None:
+        """Remove all SAN partitions (fabric fences persist)."""
+        self._blocked.clear()
+
+    def reachable(self, src: str, dst: str) -> bool:
+        """Whether the fabric currently routes src→dst."""
+        if src in self._fabric_fenced or dst in self._fabric_fenced:
+            return False
+        return (src, dst) not in self._blocked
+
+    def fence_at_fabric(self, initiator: str) -> None:
+        """Switch-level fence: the initiator loses all SAN connectivity."""
+        self._fabric_fenced.add(initiator)
+
+    def unfence_at_fabric(self, initiator: str) -> None:
+        """Lift a switch-level fence."""
+        self._fabric_fenced.discard(initiator)
+
+    # -- I/O ------------------------------------------------------------------
+    def _latency(self, n_blocks: int) -> float:
+        jitter = float(self._rng.exponential(self.base_latency * 0.2)) if self.base_latency else 0.0
+        return self.base_latency + self.per_block_latency * n_blocks + jitter
+
+    def _delay_for(self, device: str, n_blocks: int) -> float:
+        """Total wait for one command: service time, plus queueing
+        behind whatever the device is already committed to."""
+        service = self._latency(n_blocks)
+        if not self.per_device_queueing:
+            return service
+        now = self.sim.now
+        start = max(now, self._busy_until.get(device, now))
+        self.queue_wait_total += start - now
+        self._busy_until[device] = start + service
+        return (start + service) - now
+
+    def _route_check(self, initiator: str, device: str) -> VirtualDisk:
+        disk = self._devices.get(device)
+        if disk is None:
+            raise KeyError(f"unknown device {device!r}")
+        if not self.reachable(initiator, device) or not self.reachable(device, initiator):
+            self.trace.emit(self.sim.now, "san.unreachable", initiator, device=device)
+            raise SanUnreachableError(initiator, device)
+        return disk
+
+    def write(self, initiator: str, device: str, block_tags: Dict[int, str],
+              ) -> Generator[Event, None, Dict[int, int]]:
+        """Write tagged blocks, returning per-lba disk versions.
+
+        Raises :class:`SanUnreachableError` on partition/zone failures
+        and :class:`FencedError` if the device fences the initiator.
+        """
+        disk = self._route_check(initiator, device)
+        yield self.sim.timeout(self._delay_for(device, len(block_tags)))
+        # Fences and partitions are evaluated at the instant the command
+        # reaches the device, not at submission (late commands from slow
+        # computers hit the fence — paper §6).
+        self._route_check(initiator, device)
+        versions = disk.write(initiator, self.sim.now, block_tags)
+        self.io_count += 1
+        self.bytes_written += len(block_tags) * BLOCK_SIZE
+        self.trace.emit(self.sim.now, "san.write", initiator, device=device,
+                        n_blocks=len(block_tags))
+        return versions
+
+    def read(self, initiator: str, device: str, lba: int, count: int = 1,
+             ) -> Generator[Event, None, List[DiskReadResult]]:
+        """Read blocks (process generator returning the block records)."""
+        disk = self._route_check(initiator, device)
+        yield self.sim.timeout(self._delay_for(device, count))
+        self._route_check(initiator, device)
+        result = disk.read(initiator, self.sim.now, lba, count)
+        self.io_count += 1
+        self.bytes_read += count * BLOCK_SIZE
+        self.trace.emit(self.sim.now, "san.read", initiator, device=device,
+                        n_blocks=count)
+        return result
+
+    def dlock_acquire(self, initiator: str, device: str, start_lba: int,
+                      length: int, ttl: float, device_now: float,
+                      ) -> Generator[Event, None, None]:
+        """Issue a GFS-style dlock command to the device (§5 baseline)."""
+        disk = self._route_check(initiator, device)
+        yield self.sim.timeout(self._latency(1))
+        self._route_check(initiator, device)
+        disk.dlocks.acquire(initiator, start_lba, length, ttl, device_now)
+
+    def dlock_release(self, initiator: str, device: str, start_lba: int,
+                      length: int, device_now: float,
+                      ) -> Generator[Event, None, None]:
+        """Release a dlock range at the device."""
+        disk = self._route_check(initiator, device)
+        yield self.sim.timeout(self._latency(1))
+        self._route_check(initiator, device)
+        disk.dlocks.release(initiator, start_lba, length, device_now)

@@ -1,0 +1,46 @@
+"""Comparison protocols from the paper's related-work discussion.
+
+Server-side *safety authorities* (plug into
+:class:`repro.server.node.StorageTankServer`):
+
+- :class:`~repro.protocols.base.NoStealAuthority` — honor locks of
+  unreachable clients indefinitely (§2's unavailability strawman);
+- :class:`~repro.protocols.steal.ImmediateStealAuthority` — steal on
+  delivery failure, as server-marshalled file systems safely do and SAN
+  file systems unsafely would (§1.2);
+- :class:`~repro.protocols.fencing_only.FencingOnlyAuthority` — fence
+  then steal immediately, the "currently accepted solution" §2.1 argues
+  is inadequate;
+- :class:`~repro.protocols.frangipani.FrangipaniAuthority` — heartbeat
+  leases with per-client server state (§5);
+- :class:`~repro.protocols.vleases.VLeaseAuthority` — V-system
+  per-object leases with per-object server state (§4).
+
+Client-side companions where the protocol changes client behaviour:
+:class:`~repro.protocols.frangipani.FrangipaniClientAgent` (periodic
+heartbeats), :class:`~repro.protocols.vleases.VLeaseClientAgent`
+(per-object renewal traffic), and
+:class:`~repro.protocols.nfs_polling.NfsPollingClient` (attribute
+polling without locks, incoherent by design, §5).
+"""
+
+from repro.protocols.base import NoStealAuthority, SafetyAuthority
+from repro.protocols.steal import ImmediateStealAuthority
+from repro.protocols.fencing_only import FencingOnlyAuthority
+from repro.protocols.frangipani import FrangipaniAuthority, FrangipaniClientAgent
+from repro.protocols.vleases import VLeaseAuthority, VLeaseClientAgent
+from repro.protocols.nfs_polling import NfsPollingClient
+from repro.protocols.dlock_fs import DlockClient
+
+__all__ = [
+    "DlockClient",
+    "FencingOnlyAuthority",
+    "FrangipaniAuthority",
+    "FrangipaniClientAgent",
+    "ImmediateStealAuthority",
+    "NfsPollingClient",
+    "NoStealAuthority",
+    "SafetyAuthority",
+    "VLeaseAuthority",
+    "VLeaseClientAgent",
+]

@@ -1,0 +1,79 @@
+"""The safety-authority interface and the honor-locks-forever baseline.
+
+A *safety authority* is the server-side policy deciding when it is safe
+to steal an unreachable client's locks.  The Storage Tank lease
+authority (:class:`repro.lease.server_lease.ServerLeaseAuthority`) is
+the paper's answer; the classes in this package are the alternatives it
+argues against.  All authorities expose the same duck-typed surface the
+server consumes:
+
+``is_suspect(client)``
+    whether the client is currently being timed out / excluded;
+``resolution(client)``
+    an event that fires when the client's locks have been stolen
+    (None when nothing is pending);
+``state_bytes()``, ``lease_cpu_ops``, ``lease_msgs_sent``
+    the overhead counters experiment E7/E9 compares;
+``gatekeeper(msg)``
+    optional inbound-message veto, installed on the endpoint.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.net.control import Endpoint
+from repro.net.message import Message
+from repro.sim.events import Event
+from repro.sim.kernel import Simulator
+from repro.sim.trace import TraceRecorder
+
+
+class SafetyAuthority:
+    """Base class wiring an authority to a server endpoint."""
+
+    def __init__(self, sim: Simulator, endpoint: Endpoint,
+                 on_steal: Callable[[str], None],
+                 trace: Optional[TraceRecorder] = None):
+        self.sim = sim
+        self.endpoint = endpoint
+        self.on_steal = on_steal
+        self.trace = trace if trace is not None else endpoint.trace
+        self.lease_cpu_ops = 0
+        self.lease_msgs_sent = 0
+        self.total_steals = 0
+        endpoint.delivery_failure_listeners.append(self._on_delivery_failure)
+
+    # -- interface ---------------------------------------------------------
+    def is_suspect(self, client: str) -> bool:
+        """Whether the client is currently excluded from service."""
+        return False
+
+    def resolution(self, client: str) -> Optional[Event]:
+        """Event firing when a pending steal of ``client`` completes."""
+        return None
+
+    def state_bytes(self) -> int:
+        """Authority memory footprint right now."""
+        return 0
+
+    def _on_delivery_failure(self, client: str, msg: Message) -> None:
+        """A server-initiated message went unACKed after retries."""
+
+    def steal_now(self, client: str) -> None:
+        """Immediately execute a steal via the server callback."""
+        self.total_steals += 1
+        self.on_steal(client)
+
+
+class NoStealAuthority(SafetyAuthority):
+    """Never steal: honor the locks of unreachable clients indefinitely.
+
+    The paper's §2 example outcome — "something as simple as a network
+    partition can render major portions of a file system unavailable
+    indefinitely."  Experiment E2 measures exactly that.
+    """
+
+    def _on_delivery_failure(self, client: str, msg: Message) -> None:
+        self.trace.emit(self.sim.now, "authority.honor", self.endpoint.name,
+                        client=client)

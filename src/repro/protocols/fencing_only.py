@@ -1,0 +1,54 @@
+"""Fence-then-steal recovery — the "currently accepted solution" the
+paper's §2.1 dismantles.
+
+On a delivery failure the server immediately instructs the storage
+devices to stop serving the client, then steals its locks and hands
+them out.  This prevents concurrent conflicting writes, but:
+
+1. dirty write-back data on the isolated client is *stranded* — it can
+   never reach disk, and a new reader sees the old version (lost
+   update, invariant I2);
+2. the isolated client does not learn anything until its next SAN I/O
+   — local processes keep reading and writing a stale cache with no
+   error reported (stale reads, invariant I3).
+
+Experiment E3 measures both failure modes against the lease protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.net.message import Message
+from repro.protocols.base import SafetyAuthority
+from repro.sim.events import Event
+
+
+class FencingOnlyAuthority(SafetyAuthority):
+    """Fence at the devices, then steal, with no lease wait.
+
+    The fence itself is constructed by the server's ``steal_client``
+    (``fence_on_steal`` must be on — the builder enforces it); what this
+    authority removes relative to Storage Tank is the τ(1+ε) grace
+    period that lets the client flush and invalidate first.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._resolutions: Dict[str, Event] = {}
+
+    def _on_delivery_failure(self, client: str, msg: Message) -> None:
+        self.lease_cpu_ops += 1
+        self.trace.emit(self.sim.now, "authority.fence_steal",
+                        self.endpoint.name, client=client)
+        ev = self.sim.event()
+        self._resolutions[client] = ev
+        try:
+            self.steal_now(client)   # steal_client fences first
+        finally:
+            ev.succeed(client)
+            self._resolutions.pop(client, None)
+
+    def resolution(self, client: str) -> Optional[Event]:
+        """Event firing when a pending steal of ``client`` completes."""
+        return self._resolutions.get(client)

@@ -1,0 +1,18 @@
+"""The Storage Tank server.
+
+Serves metadata and runs the distributed protocols for cache coherency
+and data allocation (paper §1.1).  It performs **no data I/O** — its
+performance is measured in transactions per second, and experiment E1
+confirms zero file-data bytes cross the control network in the direct
+access model.
+
+The server's *safety authority* decides when stolen locks are safe; the
+default is the paper's passive lease authority
+(:class:`repro.lease.server_lease.ServerLeaseAuthority`), and the
+baseline authorities from :mod:`repro.protocols` plug into the same
+slot.
+"""
+
+from repro.server.node import ServerConfig, StorageTankServer
+
+__all__ = ["ServerConfig", "StorageTankServer"]

@@ -1,0 +1,510 @@
+"""The Storage Tank server node.
+
+Wires together the metadata store, the lock manager and a pluggable
+*safety authority* (the lease authority by default) behind a control
+network endpoint.  All transactions are small and synchronous except
+lock acquisition, which may demand locks back from other clients and
+therefore runs as a deferred handler.
+
+The server never touches file data: clients get extent maps and do
+their own SAN I/O (paper §1.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional, Set, Tuple
+
+from repro.lease.contract import LeaseContract
+from repro.lease.server_lease import ServerLeaseAuthority
+from repro.locks.manager import LockManager
+from repro.locks.modes import LockMode, compatible
+from repro.locks.ranges import ByteRange, RangeLockManager
+from repro.metadata.directory import NamespaceError
+from repro.metadata.store import MetadataStore
+from repro.net.control import ControlNetwork, Endpoint, RetryPolicy
+from repro.net.message import DeliveryError, Message, MsgKind, NackError
+from repro.net.san import SanFabric
+from repro.server.recovery import RecoveryManager
+from repro.sim.clock import LocalClock
+from repro.sim.events import Event
+from repro.sim.kernel import Simulator
+from repro.sim.trace import TraceRecorder
+from repro.storage.blockmap import extents_to_payload
+
+
+@dataclass
+class ServerConfig:
+    """Server tunables."""
+
+    fence_on_steal: bool = True       # construct a fence when stealing (§6)
+    fence_scope: str = "device"       # "device" | "fabric"
+    demand_patience: float = 2.0      # local secs to await a demanded release
+    demand_timeout: float = 1.0       # per-datagram timeout for demands
+    demand_retries: int = 3
+    unfence_on_rejoin: bool = True    # lift fences when a stolen client returns
+    recovery_grace: float = 5.0       # local secs reassertions win over fresh locks
+
+
+class StorageTankServer:
+    """One metadata/lock server."""
+
+    def __init__(self, sim: Simulator, net: ControlNetwork, san: SanFabric,
+                 name: str, clock: LocalClock, contract: LeaseContract,
+                 config: Optional[ServerConfig] = None,
+                 trace: Optional[TraceRecorder] = None,
+                 authority_factory: Optional[Callable[["StorageTankServer"], Any]] = None,
+                 id_base: int = 0,
+                 alloc_share: Tuple[int, int] = (0, 1)):
+        """``id_base`` makes this server's file ids globally unique and
+        ``alloc_share = (index, total)`` gives it a disjoint slice of
+        every shared disk's block space (multi-server clusters)."""
+        self.sim = sim
+        self.san = san
+        self.name = name
+        self.contract = contract
+        self.config = config or ServerConfig()
+        self.trace = trace if trace is not None else net.trace
+
+        self.endpoint = Endpoint(
+            sim, net, name, clock, trace=self.trace,
+            default_policy=RetryPolicy(timeout=self.config.demand_timeout,
+                                       retries=self.config.demand_retries))
+        san.attach_initiator(name)
+        self.metadata = MetadataStore(id_base=id_base)
+        share_idx, share_total = alloc_share
+        for dev_name, disk in san.devices.items():
+            slice_blocks = disk.n_blocks // share_total
+            self.metadata.allocator.add_device(
+                dev_name, slice_blocks, base_lba=share_idx * slice_blocks)
+        self.locks = LockManager(now_fn=lambda: sim.now)
+        # Byte-range locks for sub-file sharing (acquire→I/O→release;
+        # clients do not cache these, so no demand machinery is needed —
+        # waiters simply queue until the holder releases or is stolen from).
+        self.range_locks = RangeLockManager(now_fn=lambda: sim.now)
+
+        if authority_factory is None:
+            authority_factory = lambda srv: ServerLeaseAuthority(
+                srv.sim, srv.endpoint, srv.contract,
+                on_steal=srv.steal_client, trace=srv.trace)
+        self.authority = authority_factory(self)
+
+        self.recovery = RecoveryManager(self, grace=self.config.recovery_grace)
+        self.transactions = 0
+        self.data_bytes_served = 0   # file data moved through this server (E1)
+        self._fenced: Set[str] = set()
+        self._active_demands: Set[Tuple[str, int, LockMode]] = set()
+
+        self._register(MsgKind.CREATE, self._h_create)
+        self._register(MsgKind.OPEN, self._h_open)
+        self._register(MsgKind.CLOSE, self._h_close)
+        self._register(MsgKind.GETATTR, self._h_getattr)
+        self._register(MsgKind.SETATTR, self._h_setattr)
+        self._register(MsgKind.LOOKUP, self._h_lookup)
+        self._register(MsgKind.UNLINK, self._h_unlink)
+        self._register(MsgKind.RANGE_ACQUIRE, self._h_range_acquire)
+        self._register(MsgKind.RANGE_RELEASE, self._h_range_release)
+        self._register(MsgKind.READDIR, self._h_readdir)
+        self._register(MsgKind.LOCK_ACQUIRE, self._h_lock_acquire)
+        self._register(MsgKind.LOCK_RELEASE, self._h_lock_release)
+        self._register(MsgKind.LOCK_DOWNGRADE, self._h_lock_downgrade)
+        self._register(MsgKind.KEEPALIVE, self._h_keepalive)
+        self._register(MsgKind.DATA_READ, self._h_data_read)
+        self._register(MsgKind.DATA_WRITE, self._h_data_write)
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _register(self, kind: str, fn: Callable[[Message], Any]) -> None:
+        def wrapped(msg: Message):
+            self.transactions += 1
+            if (self.config.unfence_on_rejoin and msg.src in self._fenced
+                    and not self.authority.is_suspect(msg.src)):
+                # A stolen client is back in contact: its lease expired and
+                # its cache is gone, so it is safe to re-admit to the SAN.
+                self.unfence_client(msg.src)
+            return self._stamp_epoch(fn(msg))
+
+        self.endpoint.register(kind, wrapped)
+
+    def _stamp_epoch(self, result: Any) -> Any:
+        """Carry the server epoch on every ACK so clients detect
+        restarts and reassert their locks (§6 recovery)."""
+        if isinstance(result, tuple) and len(result) == 2:
+            decision, payload = result
+            if decision == "ack":
+                payload = dict(payload or {})
+                payload.setdefault("__epoch__", self.recovery.epoch)
+                return (decision, payload)
+            return result
+        if hasattr(result, "send"):
+            gen = result
+
+            def stamped() -> Generator[Event, Any, Any]:
+                inner = yield from gen
+                return self._stamp_epoch(inner)
+            return stamped()
+        return result
+
+    def local_now(self) -> float:
+        """Server local-clock reading."""
+        return self.endpoint.local_now()
+
+    def crash(self) -> None:
+        """Fail the server (volatile lock state lost, metadata kept)."""
+        self.recovery.crash()
+
+    def restart(self) -> None:
+        """Recover with a new epoch; clients will reassert locks."""
+        self.recovery.restart()
+
+    # ------------------------------------------------------------------
+    # steal & fence
+    # ------------------------------------------------------------------
+    def steal_client(self, client: str) -> None:
+        """Stop honoring every lock the client holds (authority callback)."""
+        if self.config.fence_on_steal:
+            self.fence_client(client)
+        stolen = self.locks.steal_all(client)
+        stolen_ranges = self.range_locks.steal_all(client)
+        self.trace.emit(self.sim.now, "server.steal", self.name,
+                        client=client,
+                        n_locks=len(stolen) + len(stolen_ranges))
+
+    def fence_client(self, client: str) -> None:
+        """Construct a fence between the client and shared storage (§6)."""
+        if client in self._fenced:
+            return
+        self._fenced.add(client)
+        if self.config.fence_scope == "fabric":
+            self.san.fence_at_fabric(client)
+        else:
+            for disk in self.san.devices.values():
+                disk.fence_table.fence(client, self.sim.now)
+        self.trace.emit(self.sim.now, "server.fence", self.name, client=client,
+                        scope=self.config.fence_scope)
+
+    def unfence_client(self, client: str) -> None:
+        """Lift a previously constructed fence."""
+        if client not in self._fenced:
+            return
+        self._fenced.discard(client)
+        if self.config.fence_scope == "fabric":
+            self.san.unfence_at_fabric(client)
+        else:
+            for disk in self.san.devices.values():
+                disk.fence_table.unfence(client, self.sim.now)
+        self.trace.emit(self.sim.now, "server.unfence", self.name, client=client)
+
+    @property
+    def fenced_clients(self) -> Set[str]:
+        """Clients currently fenced by this server."""
+        return set(self._fenced)
+
+    # ------------------------------------------------------------------
+    # lock granting with demand/revocation
+    # ------------------------------------------------------------------
+    def _grant_lock(self, client: str, obj: int, mode: LockMode,
+                    ) -> Generator[Event, Any, LockMode]:
+        waiter = self.recovery.defer_if_recovering()
+        if waiter is not None:
+            # Post-restart grace: reassertions claim their objects first.
+            yield self.sim.process(waiter)
+        granted, conflicts = self.locks.try_acquire(client, obj, mode)
+        if granted:
+            return mode
+        wait_ev = self.sim.event()
+        self.locks.enqueue_waiter(
+            client, obj, mode,
+            lambda o, m, ev=wait_ev: ev.succeed((o, m)) if not ev.triggered else None)
+        for holder, _held in conflicts:
+            self._spawn_demand(holder, obj, mode)
+        yield wait_ev
+        return mode
+
+    def _spawn_demand(self, holder: str, obj: int, needed: LockMode) -> None:
+        key = (holder, obj, needed)
+        if key in self._active_demands:
+            return
+        self._active_demands.add(key)
+        self.sim.process(self._demand_loop(holder, obj, needed),
+                         name=f"{self.name}:demand:{holder}:{obj}")
+
+    def _demand_loop(self, holder: str, obj: int, needed: LockMode,
+                     ) -> Generator[Event, Any, None]:
+        """Demand a lock back until the holder yields or is stolen from."""
+        try:
+            while True:
+                held = self.locks.mode_of(holder, obj)
+                if held == LockMode.NONE or compatible(held, needed):
+                    return
+                if self.authority.is_suspect(holder):
+                    res = self.authority.resolution(holder)
+                    if res is not None:
+                        yield res
+                    else:
+                        # Suspect but no steal scheduled yet (e.g. a
+                        # heartbeat authority between expiry and its next
+                        # scan): poll instead of spinning.
+                        yield self.endpoint.local_timeout(
+                            min(self.config.demand_patience, 0.5))
+                    continue
+                try:
+                    yield from self.endpoint.request(
+                        holder, MsgKind.LOCK_DEMAND,
+                        {"file_id": obj, "needed_mode": int(needed)})
+                except DeliveryError:
+                    # The endpoint hook already told the authority; wait for
+                    # the steal (or for an immediate-steal baseline, which
+                    # resolves synchronously).
+                    res = self.authority.resolution(holder)
+                    if res is not None:
+                        yield res
+                    continue
+                except NackError:
+                    return
+                # Holder acknowledged; give it time to flush and release.
+                yield self.endpoint.local_timeout(self.config.demand_patience)
+        finally:
+            self._active_demands.discard((holder, obj, needed))
+
+    # ------------------------------------------------------------------
+    # transaction handlers
+    # ------------------------------------------------------------------
+    def _h_create(self, msg: Message):
+        path = msg.payload["path"]
+        size = int(msg.payload.get("size", 0))
+        if self.metadata.exists(path):
+            return ("nack", {"error": "exists"})
+        ino = self.metadata.create_file(path, size, now=self.sim.now)
+        return ("ack", {"file_id": ino.file_id,
+                        "attrs": ino.attrs.to_payload(),
+                        "extents": extents_to_payload(ino.extents)})
+
+    def _h_open(self, msg: Message):
+        path = msg.payload["path"]
+        mode = msg.payload.get("mode", "r")
+        try:
+            ino = self.metadata.lookup(path)
+        except NamespaceError as exc:
+            return ("nack", {"error": str(exc)})
+        if msg.payload.get("nolock"):
+            # NFS-style open: no coherence lock, caller polls attributes.
+            return ("ack", {"file_id": ino.file_id,
+                            "attrs": ino.attrs.to_payload(),
+                            "extents": extents_to_payload(ino.extents),
+                            "lock": int(LockMode.NONE)})
+        wanted = LockMode.EXCLUSIVE if mode == "w" else LockMode.SHARED
+
+        def run() -> Generator[Event, Any, Tuple[str, Dict[str, Any]]]:
+            granted = yield from self._grant_lock(msg.src, ino.file_id, wanted)
+            return ("ack", {"file_id": ino.file_id,
+                            "attrs": ino.attrs.to_payload(),
+                            "extents": extents_to_payload(ino.extents),
+                            "lock": int(granted)})
+        return run()
+
+    def _h_close(self, msg: Message):
+        # Locks are cached past close (§3.1); closing is bookkeeping only.
+        return ("ack", {})
+
+    def _h_getattr(self, msg: Message):
+        try:
+            if "path" in msg.payload:
+                ino = self.metadata.lookup(msg.payload["path"])
+            else:
+                ino = self.metadata.inode(int(msg.payload["file_id"]))
+        except (NamespaceError, KeyError) as exc:
+            return ("nack", {"error": str(exc)})
+        return ("ack", {"file_id": ino.file_id, "attrs": ino.attrs.to_payload()})
+
+    def _h_setattr(self, msg: Message):
+        file_id = int(msg.payload["file_id"])
+        size = msg.payload.get("size")
+        try:
+            if size is not None:
+                ino = self.metadata.ensure_size(file_id, int(size), now=self.sim.now)
+            else:
+                ino = self.metadata.set_attrs(file_id, now=self.sim.now,
+                                              mode=msg.payload.get("mode"))
+        except NamespaceError as exc:
+            return ("nack", {"error": str(exc)})
+        return ("ack", {"attrs": ino.attrs.to_payload(),
+                        "extents": extents_to_payload(ino.extents)})
+
+    def _h_lookup(self, msg: Message):
+        try:
+            ino = self.metadata.lookup(msg.payload["path"])
+        except NamespaceError as exc:
+            return ("nack", {"error": str(exc)})
+        return ("ack", {"file_id": ino.file_id})
+
+    def _h_unlink(self, msg: Message):
+        """Remove a file.  The caller must first win an EXCLUSIVE lock
+        (demanding it from cachers), so no one holds stale pages when the
+        extents are freed; the lock dies with the file."""
+        path = msg.payload["path"]
+        try:
+            ino = self.metadata.lookup(path)
+        except NamespaceError as exc:
+            return ("nack", {"error": str(exc)})
+        fid = ino.file_id
+
+        def run() -> Generator[Event, Any, Tuple[str, Dict[str, Any]]]:
+            yield from self._grant_lock(msg.src, fid, LockMode.EXCLUSIVE)
+            try:
+                self.metadata.unlink(path)
+            except NamespaceError as exc:
+                self.locks.release(msg.src, fid)
+                return ("nack", {"error": str(exc)})
+            self.locks.release(msg.src, fid)
+            return ("ack", {"file_id": fid})
+        return run()
+
+    def _h_readdir(self, msg: Message):
+        """List the entries directly under a directory prefix."""
+        try:
+            entries = self.metadata.namespace.listdir(msg.payload.get("path", "/"))
+        except NamespaceError as exc:
+            return ("nack", {"error": str(exc)})
+        return ("ack", {"entries": entries})
+
+    def _h_lock_acquire(self, msg: Message):
+        file_id = int(msg.payload["file_id"])
+        mode = LockMode(int(msg.payload["mode"]))
+
+        def run() -> Generator[Event, Any, Tuple[str, Dict[str, Any]]]:
+            granted = yield from self._grant_lock(msg.src, file_id, mode)
+            try:
+                ino = self.metadata.inode(file_id)
+                extra = {"attrs": ino.attrs.to_payload(),
+                         "extents": extents_to_payload(ino.extents)}
+            except NamespaceError:
+                extra = {}
+            return ("ack", {"mode": int(granted), **extra})
+        return run()
+
+    def _h_lock_release(self, msg: Message):
+        self.locks.release(msg.src, int(msg.payload["file_id"]))
+        return ("ack", {})
+
+    def _h_lock_downgrade(self, msg: Message):
+        self.locks.downgrade(msg.src, int(msg.payload["file_id"]),
+                             LockMode(int(msg.payload["to"])))
+        return ("ack", {})
+
+    def _h_data_read(self, msg: Message):
+        """Server-marshalled read: the traditional client/server data path
+        (experiment E1's baseline).  The server performs the SAN I/O on
+        the client's behalf and ships the data over the control network.
+        """
+        file_id = int(msg.payload["file_id"])
+        block = int(msg.payload["block"])
+
+        def run() -> Generator[Event, Any, Tuple[str, Dict[str, Any]]]:
+            try:
+                ino = self.metadata.inode(file_id)
+                device, lba = ino.extents.resolve(block)
+            except (NamespaceError, IndexError) as exc:
+                return ("nack", {"error": str(exc)})
+            recs = yield from self.san.read(self.name, device, lba, 1)
+            from repro.storage.blockmap import BLOCK_SIZE
+            self.data_bytes_served += BLOCK_SIZE
+            return ("ack", {"tag": recs[0].tag, "version": recs[0].version,
+                            "data_bytes": BLOCK_SIZE})
+        return run()
+
+    def _h_data_write(self, msg: Message):
+        """Server-marshalled write (E1 baseline): data arrives over the
+        control network and the server hardens it to the SAN."""
+        file_id = int(msg.payload["file_id"])
+        block = int(msg.payload["block"])
+        tag = msg.payload["tag"]
+
+        def run() -> Generator[Event, Any, Tuple[str, Dict[str, Any]]]:
+            try:
+                ino = self.metadata.inode(file_id)
+                device, lba = ino.extents.resolve(block)
+            except (NamespaceError, IndexError) as exc:
+                return ("nack", {"error": str(exc)})
+            versions = yield from self.san.write(self.name, device, {lba: tag})
+            from repro.storage.blockmap import BLOCK_SIZE
+            self.data_bytes_served += BLOCK_SIZE
+            return ("ack", {"version": versions.get(lba, -1)})
+        return run()
+
+    def _h_range_acquire(self, msg: Message):
+        """Acquire a byte-range lock (queues behind conflicting holders;
+        a dead holder's ranges free when its lease is stolen)."""
+        file_id = int(msg.payload["file_id"])
+        rng = ByteRange(int(msg.payload["start"]), int(msg.payload["end"]))
+        mode = LockMode(int(msg.payload["mode"]))
+
+        def run() -> Generator[Event, Any, Tuple[str, Dict[str, Any]]]:
+            granted, conflicts = self.range_locks.try_acquire(
+                msg.src, file_id, rng, mode)
+            if not granted:
+                ev = self.sim.event()
+                self.range_locks.enqueue_waiter(
+                    msg.src, file_id, rng, mode,
+                    lambda r, m, ev=ev: ev.succeed((r, m)) if not ev.triggered else None)
+                # Probe the conflicting holders: an unreachable holder
+                # must be detected (delivery failure -> suspect -> lease
+                # steal frees its ranges) or the waiter starves.
+                for g in conflicts:
+                    self._spawn_range_probe(g.client, file_id)
+                yield ev
+            return ("ack", {"mode": int(mode)})
+        return run()
+
+    def _spawn_range_probe(self, holder: str, obj: int) -> None:
+        key = ("__range__", holder, obj)
+        if key in self._active_demands:
+            return
+        self._active_demands.add(key)
+        self.sim.process(self._range_probe_loop(key, holder, obj),
+                         name=f"{self.name}:range-probe:{holder}:{obj}")
+
+    def _range_probe_loop(self, key, holder: str, obj: int,
+                          ) -> Generator[Event, Any, None]:
+        """Keep probing a range holder while waiters queue behind it."""
+        try:
+            while True:
+                if (not self.range_locks.holdings(holder, obj)
+                        or self.range_locks.waiter_count(obj) == 0):
+                    return
+                if self.authority.is_suspect(holder):
+                    res = self.authority.resolution(holder)
+                    if res is not None:
+                        yield res
+                    else:
+                        yield self.endpoint.local_timeout(
+                            min(self.config.demand_patience, 0.5))
+                    continue
+                try:
+                    yield from self.endpoint.request(
+                        holder, MsgKind.RANGE_DEMAND, {"file_id": obj})
+                except DeliveryError:
+                    res = self.authority.resolution(holder)
+                    if res is not None:
+                        yield res
+                    continue
+                except NackError:
+                    return
+                yield self.endpoint.local_timeout(self.config.demand_patience)
+        finally:
+            self._active_demands.discard(key)
+
+    def _h_range_release(self, msg: Message):
+        file_id = int(msg.payload["file_id"])
+        rng = None
+        if "start" in msg.payload:
+            rng = ByteRange(int(msg.payload["start"]), int(msg.payload["end"]))
+        self.range_locks.release(msg.src, file_id, rng)
+        return ("ack", {})
+
+    def _h_keepalive(self, msg: Message):
+        # The NULL message (§3.2): no file system or lock function at all.
+        # The gatekeeper has already vetoed suspect clients; an ACK is the
+        # entire processing cost.
+        return ("ack", {})

@@ -1,0 +1,110 @@
+"""Server failure and recovery (paper §6).
+
+"Distributed file servers, like Storage Tank, that maintain lock and
+client state must recover that state after a server failure. ...
+Storage Tank uses a combined policy of lock reassertion and hardware
+supported replication."
+
+Metadata lives on the server's (replicated) private store and survives;
+the *lock table* is volatile and is rebuilt by **client-driven lock
+reassertion**: after a restart the server advertises a new *epoch* on
+every acknowledgment, clients notice the epoch change and re-claim the
+locks they hold, and for a grace window the server admits reassertions
+while deferring fresh acquisitions so reclaimed locks cannot be handed
+to someone else first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List, Optional, TYPE_CHECKING
+
+from repro.locks.modes import LockMode
+from repro.net.message import Message, MsgKind
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.server.node import StorageTankServer
+
+#: Message kind for re-claiming a lock after a server restart.
+LOCK_REASSERT = "lock.reassert"
+
+
+class RecoveryManager:
+    """Epoch tracking + the post-restart grace window for one server."""
+
+    def __init__(self, server: "StorageTankServer", grace: float = 5.0):
+        self.server = server
+        self.grace = grace
+        self.epoch = 1
+        self._recovering_until_local: Optional[float] = None
+        self.reasserted = 0
+        self.reassert_conflicts = 0
+        self.restarts = 0
+        server.endpoint.register(LOCK_REASSERT, self._h_reassert)
+
+    # -- state ------------------------------------------------------------
+    @property
+    def in_recovery(self) -> bool:
+        """Whether the grace window is currently open."""
+        return (self._recovering_until_local is not None
+                and self.server.local_now() < self._recovering_until_local)
+
+    # -- crash / restart -----------------------------------------------------
+    def crash(self) -> None:
+        """Fail the server: stop receiving; volatile lock state is lost.
+
+        The metadata store survives (private replicated storage, §6);
+        the lock manager's *history* survives too, because it is audit
+        ground truth, but all holdings and waiters are wiped.
+        """
+        self.server.endpoint.crash()
+        self.server.locks.clear_volatile(now=self.server.sim.now)
+        self.server.trace.emit(self.server.sim.now, "server.crash",
+                               self.server.name)
+
+    def restart(self) -> None:
+        """Bring the server back with a new epoch and open the grace
+        window for lock reassertion."""
+        self.restarts += 1
+        self.epoch += 1
+        self._recovering_until_local = self.server.local_now() + self.grace
+        self.server.endpoint.restart()
+        self.server.trace.emit(self.server.sim.now, "server.restart",
+                               self.server.name, epoch=self.epoch)
+
+    # -- reassertion -------------------------------------------------------
+    def _h_reassert(self, msg: Message):
+        """Grant a client's re-claim of a lock it already held.
+
+        First-come wins: if two clients reassert conflicting locks (a
+        steal raced the crash), the second is refused and must
+        invalidate its cache for that object.
+        """
+        obj = int(msg.payload["file_id"])
+        mode = LockMode(int(msg.payload["mode"]))
+        granted, conflicts = self.server.locks.try_acquire(msg.src, obj, mode)
+        if granted:
+            self.reasserted += 1
+            self.server.trace.emit(self.server.sim.now, "server.reassert",
+                                   self.server.name, client=msg.src, obj=obj,
+                                   mode=int(mode))
+            return ("ack", {"mode": int(mode)})
+        self.reassert_conflicts += 1
+        return ("nack", {"error": "reassert_conflict",
+                         "holders": [h for h, _m in conflicts]})
+
+    def defer_if_recovering(self) -> Optional[Generator[Event, Any, None]]:
+        """A generator that waits out the grace window (None if closed).
+
+        Fresh lock acquisitions yield on this before proceeding, so
+        reassertions get the first claim on every object.
+        """
+        if not self.in_recovery:
+            return None
+        assert self._recovering_until_local is not None
+        wait_local = self._recovering_until_local - self.server.local_now()
+
+        def waiter() -> Generator[Event, Any, None]:
+            yield self.server.endpoint.local_timeout(max(wait_local, 0.0))
+        return waiter()

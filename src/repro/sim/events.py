@@ -1,0 +1,200 @@
+"""Event primitives for the discrete-event kernel.
+
+Events are one-shot: they are *triggered* exactly once (either succeeded
+with a value or failed with an exception) and then fire their callbacks
+when the simulator pops them off the schedule.  Processes wait on events
+by ``yield``-ing them; composite events (:class:`AnyOf`, :class:`AllOf`)
+let a process wait on several conditions at once.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.kernel import Simulator
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the kernel (double-trigger, bad yields...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`repro.sim.process.Process.interrupt`.
+
+    The interrupted process receives the interrupt at its current yield
+    point and may catch it to clean up (the paper's clients use this to
+    abort in-flight retries when a lease transitions phase).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence on the simulation timeline.
+
+    An event goes through three states: *pending* (just created),
+    *triggered* (value/exception decided, scheduled on the heap) and
+    *processed* (callbacks ran).  Waiting processes register callbacks.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_exc", "_triggered", "_processed", "_defused")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._triggered = False
+        self._processed = False
+        # A failed event whose exception was delivered to some waiter is
+        # "defused"; undefused failures surface when the event fires.
+        self._defused = False
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event outcome has been decided."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (valid only once triggered)."""
+        return self._triggered and self._exc is None
+
+    @property
+    def value(self) -> Any:
+        """The success value (or raises the failure exception)."""
+        if not self._triggered:
+            raise SimulationError("event value read before trigger")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        """The failure exception, or None."""
+        return self._exc
+
+    # -- triggering --------------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Mark the event successful and schedule it ``delay`` from now."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._triggered = True
+        self._value = value
+        self.sim._schedule(self, delay)
+        return self
+
+    def fail(self, exc: BaseException, delay: float = 0.0) -> "Event":
+        """Mark the event failed; waiters will see ``exc`` raised."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._triggered = True
+        self._exc = exc
+        self.sim._schedule(self, delay)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failure as handled so the kernel does not re-raise it."""
+        self._defused = True
+
+    # -- kernel hook ---------------------------------------------------------
+    def _fire(self) -> None:
+        """Run callbacks.  Called exactly once by the simulator loop."""
+        callbacks, self.callbacks = self.callbacks, None
+        self._processed = True
+        assert callbacks is not None
+        for cb in callbacks:
+            cb(self)
+        if self._exc is not None and not self._defused:
+            raise self._exc
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self._processed else ("triggered" if self._triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that succeeds ``delay`` simulated seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        sim._schedule(self, delay)
+
+
+class _Condition(Event):
+    """Base for AnyOf/AllOf: waits on a set of events."""
+
+    __slots__ = ("events", "_count")
+
+    def __init__(self, sim: "Simulator", events: Sequence[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        self._count = 0
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            if ev.sim is not sim:
+                raise SimulationError("condition mixes events from different simulators")
+            if ev._processed:
+                self._check(ev)
+            else:
+                assert ev.callbacks is not None
+                ev.callbacks.append(self._check)
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def _collect(self) -> dict:
+        return {ev: ev._value for ev in self.events if ev._processed and ev._exc is None}
+
+    def _on_child_failure(self, event: Event) -> bool:
+        if event._exc is not None:
+            event.defuse()
+            if not self._triggered:
+                self.fail(event._exc)
+            return True
+        return False
+
+
+class AnyOf(_Condition):
+    """Succeeds as soon as any child event succeeds (fails on first failure)."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._on_child_failure(event):
+            return
+        if not self._triggered:
+            self.succeed(self._collect())
+
+
+class AllOf(_Condition):
+    """Succeeds once every child event has succeeded."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._on_child_failure(event):
+            return
+        self._count += 1
+        if self._count == len(self.events) and not self._triggered:
+            self.succeed(self._collect())

@@ -1,0 +1,111 @@
+"""The simulator event loop.
+
+Deterministic: the schedule is a heap keyed by ``(time, insertion
+sequence)``, so same-time events fire in insertion order regardless of
+hashing or interning.  All randomness in a simulation flows through
+:class:`repro.sim.rng.RandomStreams`, so a run is fully reproducible
+from its seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Iterable, List, Optional, Tuple
+
+from repro.sim.events import AllOf, AnyOf, Event, SimulationError, Timeout
+from repro.sim.process import Process, ProcessGenerator
+
+
+class Simulator:
+    """Discrete-event simulator with a float timeline in seconds."""
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._heap: List[Tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    # -- time ------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time (global/"true" time) in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- event factories ---------------------------------------------------
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, gen: ProcessGenerator, name: Optional[str] = None) -> Process:
+        """Spawn a generator as a process; returns the process event."""
+        return Process(self, gen, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Condition event firing when any child succeeds."""
+        return AnyOf(self, list(events))
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Condition event firing when all children succeed."""
+        return AllOf(self, list(events))
+
+    # -- scheduling (kernel internal) ------------------------------------
+    def _schedule(self, event: Event, delay: float, priority: bool = False) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        # priority events (interrupts) sort ahead of same-time normals
+        heapq.heappush(self._heap, (self._now + delay, 0 if priority else 1, self._seq, event))
+
+    # -- main loop -----------------------------------------------------------
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Pop and fire exactly one event."""
+        if not self._heap:
+            raise SimulationError("step() on an empty schedule")
+        t, _prio, _seq, event = heapq.heappop(self._heap)
+        if t < self._now:
+            raise SimulationError("schedule corruption: time went backwards")
+        self._now = t
+        event._fire()
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run the loop until the schedule drains or ``until`` is reached.
+
+        Returns the simulation time when the loop stopped.  ``max_events``
+        is a safety valve for runaway simulations.
+        """
+        count = 0
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self._now = until
+                break
+            if max_events is not None and count >= max_events:
+                raise SimulationError(f"run() exceeded max_events={max_events}")
+            self.step()
+            count += 1
+        else:
+            if until is not None and until > self._now:
+                self._now = until
+        return self._now
+
+    def run_until_event(self, event: Event, hard_limit: float = float("inf")) -> Any:
+        """Run until ``event`` has fired; returns its value."""
+        while not event.processed:
+            if not self._heap:
+                raise SimulationError("schedule drained before awaited event fired")
+            if self._heap[0][0] > hard_limit:
+                raise SimulationError(f"awaited event did not fire by t={hard_limit}")
+            self.step()
+        return event.value

@@ -1,0 +1,141 @@
+"""Generator-based simulation processes.
+
+A process wraps a Python generator that ``yield``-s :class:`Event`
+instances.  The process resumes when the yielded event fires, receiving
+the event's value (or its exception raised at the yield point).  A
+process is itself an event that triggers when the generator returns, so
+processes can wait on each other.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, TYPE_CHECKING
+
+from repro.sim.events import Event, Interrupt, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.kernel import Simulator
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A running coroutine on the simulation timeline.
+
+    Triggered (as an event) with the generator's return value when it
+    finishes, or failed with its uncaught exception.
+    """
+
+    __slots__ = ("gen", "name", "_target", "_alive")
+
+    def __init__(self, sim: "Simulator", gen: ProcessGenerator, name: Optional[str] = None):
+        super().__init__(sim)
+        if not hasattr(gen, "send") or not hasattr(gen, "throw"):
+            raise TypeError(f"Process requires a generator, got {type(gen).__name__}")
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self._target: Optional[Event] = None
+        self._alive = True
+        # Bootstrap: resume once the init event fires.
+        init = Event(sim)
+        init.succeed()
+        assert init.callbacks is not None
+        init.callbacks.append(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._alive
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting on."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its yield point.
+
+        Interrupting a dead process is an error.  The process is detached
+        from whatever event it was waiting on; that event may still fire
+        later and is then ignored.
+        """
+        if not self._alive:
+            raise SimulationError(f"cannot interrupt dead process {self.name!r}")
+        ev = Event(self.sim)
+        ev._triggered = True
+        ev._exc = Interrupt(cause)
+        ev._defused = True
+        assert ev.callbacks is not None
+        ev.callbacks.append(self._resume)
+        self.sim._schedule(ev, 0.0, priority=True)
+
+    # -- resumption ----------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        if not self._alive:
+            return
+        if isinstance(event._exc, Interrupt):
+            # Detach from the current wait target; its later firing must
+            # not resume this process a second time.
+            tgt = self._target
+            if tgt is not None and tgt.callbacks is not None and self._resume in tgt.callbacks:
+                tgt.callbacks.remove(self._resume)
+        elif self._target is not None and event is not self._target:
+            return  # stale wake-up from a pre-interrupt target
+        self._target = None
+
+        self.sim._active_process = self
+        try:
+            if event._exc is not None:
+                # Delivering the exception to this process counts as
+                # handling it at the kernel level.
+                event.defuse()
+                nxt = self.gen.throw(event._exc)
+            else:
+                nxt = self.gen.send(event._value)
+        except StopIteration as stop:
+            self._alive = False
+            self.succeed(stop.value)
+            return
+        except Interrupt as exc:
+            # An uncaught interrupt terminates the process quietly: the
+            # interruptor asked for exactly this.
+            self._alive = False
+            self._triggered = True
+            self._exc = exc
+            self._defused = True
+            self.sim._schedule(self, 0.0)
+            return
+        except BaseException as exc:
+            self._alive = False
+            self.fail(exc)
+            return
+        finally:
+            self.sim._active_process = None
+
+        if not isinstance(nxt, Event) or nxt.sim is not self.sim:
+            self._alive = False
+            self.fail(SimulationError(f"process {self.name!r} yielded invalid target {nxt!r}"))
+            return
+
+        if nxt._processed:
+            # The target already fired; resume via a proxy on the next round.
+            proxy = Event(self.sim)
+            proxy._triggered = True
+            proxy._value = nxt._value
+            proxy._exc = nxt._exc
+            if nxt._exc is not None:
+                nxt.defuse()
+                proxy._defused = True
+            self._target = proxy
+            assert proxy.callbacks is not None
+            proxy.callbacks.append(self._resume)
+            self.sim._schedule(proxy, 0.0)
+        else:
+            if nxt._exc is not None:
+                nxt.defuse()
+            self._target = nxt
+            assert nxt.callbacks is not None
+            nxt.callbacks.append(self._resume)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Process {self.name!r} {'alive' if self._alive else 'dead'}>"

@@ -1,0 +1,101 @@
+"""Structured event tracing.
+
+Simulation components emit :class:`TraceRecord`-s (message sends, lease
+phase transitions, fences, lock steals...).  The trace is the ground
+truth consumed by the offline consistency audit and by the experiment
+harness, so records are plain data and cheap to filter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence.
+
+    ``kind`` is a dotted category such as ``"msg.send"``, ``"lease.phase"``,
+    ``"lock.steal"``, ``"disk.write"``; ``node`` the emitting component;
+    ``detail`` free-form keyed data.
+    """
+
+    time: float
+    kind: str
+    node: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Convenience accessor into ``detail``."""
+        return self.detail.get(key, default)
+
+
+class TraceRecorder:
+    """Append-only trace with cheap filtered views and counters."""
+
+    def __init__(self, enabled: bool = True, keep_kinds: Optional[List[str]] = None):
+        self.enabled = enabled
+        self._records: List[TraceRecord] = []
+        self._counts: Dict[str, int] = {}
+        self._keep_prefixes = tuple(keep_kinds) if keep_kinds else None
+        self._subscribers: List[Callable[[TraceRecord], None]] = []
+
+    def emit(self, time: float, kind: str, node: str, **detail: Any) -> None:
+        """Record one occurrence (counters always update, storage may filter)."""
+        self._counts[kind] = self._counts.get(kind, 0) + 1
+        if not self.enabled:
+            return
+        if self._keep_prefixes is not None and not kind.startswith(self._keep_prefixes):
+            return
+        rec = TraceRecord(time=time, kind=kind, node=node, detail=detail)
+        self._records.append(rec)
+        for sub in self._subscribers:
+            sub(rec)
+
+    def subscribe(self, fn: Callable[[TraceRecord], None]) -> None:
+        """Invoke ``fn`` on every stored record as it is emitted."""
+        self._subscribers.append(fn)
+
+    # -- queries --------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        """All stored records in emission order."""
+        return list(self._records)
+
+    def count(self, kind: str) -> int:
+        """Exact count of a kind (counted even when storage is filtered)."""
+        return self._counts.get(kind, 0)
+
+    def count_prefix(self, prefix: str) -> int:
+        """Sum of counts over all kinds with the given dotted prefix."""
+        return sum(c for k, c in self._counts.items() if k.startswith(prefix))
+
+    def select(self, kind: Optional[str] = None, node: Optional[str] = None,
+               prefix: Optional[str] = None) -> List[TraceRecord]:
+        """Stored records matching the given filters."""
+        out = []
+        for r in self._records:
+            if kind is not None and r.kind != kind:
+                continue
+            if prefix is not None and not r.kind.startswith(prefix):
+                continue
+            if node is not None and r.node != node:
+                continue
+            out.append(r)
+        return out
+
+    def kinds(self) -> Dict[str, int]:
+        """Mapping of every seen kind to its count."""
+        return dict(self._counts)
+
+    def clear(self) -> None:
+        """Drop stored records and counters."""
+        self._records.clear()
+        self._counts.clear()

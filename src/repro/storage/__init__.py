@@ -1,0 +1,44 @@
+"""Shared network-attached storage devices.
+
+Disks on the SAN are deliberately *dumb* (paper §2): they cannot run
+membership protocols or initiate messages.  What they can do — and all
+they can do — is:
+
+- serve block reads/writes to any initiator the fabric lets through
+  (:class:`~repro.storage.disk.VirtualDisk`);
+- enforce a per-initiator *fence table*
+  (:class:`~repro.storage.fencing.FenceTable`), the paper's fencing
+  primitive (§2.1, §6);
+- optionally implement GFS-style ``dlock`` range locks with
+  device-enforced timeouts (:mod:`repro.storage.dlock`, the §5 baseline).
+
+Blocks carry version numbers and writer tags rather than byte payloads;
+the disk also keeps a full write/read history, which is the ground truth
+for the offline consistency audit.
+"""
+
+from repro.storage.blockmap import BLOCK_SIZE, Extent, ExtentMap
+from repro.storage.disk import (
+    BlockRecord,
+    DiskReadResult,
+    FencedIoError,
+    IoEvent,
+    VirtualDisk,
+)
+from repro.storage.dlock import Dlock, DlockDeniedError, DlockTable
+from repro.storage.fencing import FenceTable
+
+__all__ = [
+    "BLOCK_SIZE",
+    "BlockRecord",
+    "DiskReadResult",
+    "Dlock",
+    "DlockDeniedError",
+    "DlockTable",
+    "Extent",
+    "ExtentMap",
+    "FenceTable",
+    "FencedIoError",
+    "IoEvent",
+    "VirtualDisk",
+]

@@ -1,0 +1,127 @@
+"""Extents and file-offset → device-block resolution.
+
+Storage Tank separates metadata from data (paper §1.1): servers keep the
+location of each file's blocks on their private high-performance store;
+the shared disks hold only data blocks.  An :class:`ExtentMap` is that
+piece of metadata: an ordered list of :class:`Extent` runs mapping a
+file's logical block space onto ``(device, lba)`` ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Tuple
+
+#: Bytes per data block on the shared disks.
+BLOCK_SIZE = 4096
+
+
+@dataclass(frozen=True)
+class Extent:
+    """A contiguous run of blocks on one device."""
+
+    device: str
+    start_lba: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise ValueError(f"extent length must be positive, got {self.length}")
+        if self.start_lba < 0:
+            raise ValueError(f"negative start_lba {self.start_lba}")
+
+    @property
+    def end_lba(self) -> int:
+        """One past the last lba of the run."""
+        return self.start_lba + self.length
+
+    def overlaps(self, other: "Extent") -> bool:
+        """Whether two extents share any physical block."""
+        return (self.device == other.device
+                and self.start_lba < other.end_lba
+                and other.start_lba < self.end_lba)
+
+
+@dataclass
+class ExtentMap:
+    """Logical-block → physical-block mapping for one file."""
+
+    extents: List[Extent] = field(default_factory=list)
+
+    @property
+    def block_count(self) -> int:
+        """Total mapped logical blocks."""
+        return sum(e.length for e in self.extents)
+
+    @property
+    def size_bytes(self) -> int:
+        """Mapped capacity in bytes."""
+        return self.block_count * BLOCK_SIZE
+
+    def append(self, extent: Extent) -> None:
+        """Grow the file by one extent (allocator responsibility to avoid
+        overlap with other files)."""
+        self.extents.append(extent)
+
+    def resolve(self, logical_block: int) -> Tuple[str, int]:
+        """Physical ``(device, lba)`` of a logical block index."""
+        if logical_block < 0:
+            raise IndexError(f"negative logical block {logical_block}")
+        remaining = logical_block
+        for e in self.extents:
+            if remaining < e.length:
+                return (e.device, e.start_lba + remaining)
+            remaining -= e.length
+        raise IndexError(f"logical block {logical_block} beyond mapped "
+                         f"extent ({self.block_count} blocks)")
+
+    def resolve_range(self, logical_start: int, count: int) -> List[Tuple[str, int, int]]:
+        """Physical runs ``(device, lba, length)`` covering a logical range."""
+        if count <= 0:
+            return []
+        runs: List[Tuple[str, int, int]] = []
+        for lb in range(logical_start, logical_start + count):
+            dev, lba = self.resolve(lb)
+            if runs and runs[-1][0] == dev and runs[-1][1] + runs[-1][2] == lba:
+                dev0, lba0, len0 = runs[-1]
+                runs[-1] = (dev0, lba0, len0 + 1)
+            else:
+                runs.append((dev, lba, 1))
+        return runs
+
+    def iter_physical(self) -> Iterator[Tuple[str, int]]:
+        """All (device, lba) pairs in logical order."""
+        for e in self.extents:
+            for lba in range(e.start_lba, e.end_lba):
+                yield (e.device, lba)
+
+
+def extents_to_payload(extents: "ExtentMap") -> List[Tuple[str, int, int]]:
+    """Wire form of an extent map for control-network replies."""
+    return [(e.device, e.start_lba, e.length) for e in extents.extents]
+
+
+def extents_from_payload(runs: List[Tuple[str, int, int]]) -> "ExtentMap":
+    """Parse the wire form back into an extent map."""
+    em = ExtentMap()
+    for device, start, length in runs:
+        em.append(Extent(device=device, start_lba=int(start), length=int(length)))
+    return em
+
+
+def bytes_to_blocks(nbytes: int) -> int:
+    """Blocks needed to hold ``nbytes`` (ceiling division)."""
+    if nbytes < 0:
+        raise ValueError(f"negative byte count {nbytes}")
+    return (nbytes + BLOCK_SIZE - 1) // BLOCK_SIZE
+
+
+def byte_range_to_blocks(offset: int, nbytes: int) -> Tuple[int, int]:
+    """Logical ``(first_block, block_count)`` covering a byte range."""
+    if offset < 0 or nbytes < 0:
+        raise ValueError("negative offset or length")
+    if nbytes == 0:
+        return (offset // BLOCK_SIZE, 0)
+    first = offset // BLOCK_SIZE
+    last = (offset + nbytes - 1) // BLOCK_SIZE
+    return (first, last - first + 1)

@@ -1,0 +1,154 @@
+"""Versioned shared block devices.
+
+A :class:`VirtualDisk` models a SAN-attached drive: a flat array of
+blocks, a fence table, and (optionally) a dlock table.  Instead of byte
+payloads, each block stores a :class:`BlockRecord` — the writing
+initiator, an application-level *tag* identifying the logical write, and
+a per-block monotonically increasing version.  Every accepted and every
+denied I/O is appended to the device history; the consistency audit
+replays that history against the lock/lease trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.storage.dlock import DlockTable
+from repro.storage.fencing import FenceTable
+
+
+@dataclass(frozen=True)
+class BlockRecord:
+    """Current content summary of one block."""
+
+    tag: Optional[str]       # application write tag, None = never written
+    version: int             # 0 = pristine
+    writer: Optional[str]    # initiator of the last write
+    written_at: float        # global time of the last write
+
+
+@dataclass(frozen=True)
+class IoEvent:
+    """One entry in the device history."""
+
+    time: float
+    op: str                  # "write" | "read" | "denied_write" | "denied_read"
+    initiator: str
+    lba: int
+    tag: Optional[str]
+    version: int
+
+
+@dataclass(frozen=True)
+class DiskReadResult:
+    """What a read returns for one block."""
+
+    lba: int
+    tag: Optional[str]
+    version: int
+
+
+_PRISTINE = BlockRecord(tag=None, version=0, writer=None, written_at=0.0)
+
+
+class FencedIoError(Exception):
+    """I/O was denied because the initiator is fenced at the device."""
+
+    def __init__(self, device: str, initiator: str, op: str):
+        super().__init__(f"{op} by {initiator} denied: fenced at {device}")
+        self.device = device
+        self.initiator = initiator
+
+
+class VirtualDisk:
+    """One shared disk on the SAN."""
+
+    def __init__(self, name: str, n_blocks: int = 1 << 20,
+                 record_history: bool = True):
+        if n_blocks <= 0:
+            raise ValueError(f"n_blocks must be positive, got {n_blocks}")
+        self.name = name
+        self.n_blocks = n_blocks
+        self.fence_table = FenceTable(owner=name)
+        self.dlocks = DlockTable(device=name)
+        self._blocks: Dict[int, BlockRecord] = {}
+        self._record_history = record_history
+        self.history: List[IoEvent] = []
+        self.reads = 0
+        self.writes = 0
+        self.denied = 0
+
+    # -- core I/O (invoked by the SAN fabric) -------------------------------
+    def _check(self, lba: int, count: int) -> None:
+        if lba < 0 or count < 0 or lba + count > self.n_blocks:
+            raise IndexError(f"I/O [{lba}, {lba + count}) outside device "
+                             f"{self.name} of {self.n_blocks} blocks")
+
+    def write(self, initiator: str, time: float,
+              block_tags: Dict[int, str]) -> Dict[int, int]:
+        """Write tags to blocks, returning the new per-block versions.
+
+        Raises :class:`FencedIoError` if the initiator is fenced.
+        """
+        if not block_tags:
+            return {}
+        lbas = sorted(block_tags)
+        self._check(lbas[0], lbas[-1] - lbas[0] + 1)
+        if self.fence_table.is_fenced(initiator):
+            self.denied += 1
+            if self._record_history:
+                for lba in lbas:
+                    self.history.append(IoEvent(time, "denied_write", initiator,
+                                                lba, block_tags[lba], -1))
+            raise FencedIoError(self.name, initiator, "write")
+        versions: Dict[int, int] = {}
+        for lba in lbas:
+            prev = self._blocks.get(lba, _PRISTINE)
+            rec = BlockRecord(tag=block_tags[lba], version=prev.version + 1,
+                              writer=initiator, written_at=time)
+            self._blocks[lba] = rec
+            versions[lba] = rec.version
+            self.writes += 1
+            if self._record_history:
+                self.history.append(IoEvent(time, "write", initiator, lba,
+                                            rec.tag, rec.version))
+        return versions
+
+    def read(self, initiator: str, time: float, lba: int,
+             count: int = 1) -> List[DiskReadResult]:
+        """Read ``count`` blocks; raises :class:`FencedIoError` if fenced."""
+        self._check(lba, count)
+        if self.fence_table.is_fenced(initiator):
+            self.denied += 1
+            if self._record_history:
+                self.history.append(IoEvent(time, "denied_read", initiator,
+                                            lba, None, -1))
+            raise FencedIoError(self.name, initiator, "read")
+        out = []
+        for b in range(lba, lba + count):
+            rec = self._blocks.get(b, _PRISTINE)
+            out.append(DiskReadResult(lba=b, tag=rec.tag, version=rec.version))
+            self.reads += 1
+            if self._record_history:
+                self.history.append(IoEvent(time, "read", initiator, b,
+                                            rec.tag, rec.version))
+        return out
+
+    # -- inspection (audit/tests; not part of the device interface) ---------
+    def peek(self, lba: int) -> BlockRecord:
+        """Current block state without recording a read."""
+        self._check(lba, 1)
+        return self._blocks.get(lba, _PRISTINE)
+
+    def version_at(self, lba: int, time: float) -> int:
+        """Block version as of a past instant (from history)."""
+        v = 0
+        for ev in self.history:
+            if ev.op == "write" and ev.lba == lba and ev.time <= time:
+                v = ev.version
+        return v
+
+    def writes_by(self, initiator: str) -> List[IoEvent]:
+        """All accepted writes from one initiator."""
+        return [e for e in self.history if e.op == "write" and e.initiator == initiator]

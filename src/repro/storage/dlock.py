@@ -1,0 +1,126 @@
+"""GFS-style device-enforced ``dlock`` range locks (paper §5 baseline).
+
+The Global File System synchronizes clients with *physical* locks held
+by the disk drive itself: a dlock covers a range of disk addresses and
+carries a timeout counter enforced by the device, so a failed client's
+lock frees itself.  The paper argues dlocks are inadequate for Storage
+Tank because its locking is *logical* (distributed data structures, not
+address ranges); experiment E10 compares the two under a slow-client
+failure.
+
+The timeout runs on the *device's* clock; callers supply the device's
+current local time on every operation (disks cannot initiate actions,
+so expiry is evaluated lazily at the next touch — exactly how a real
+drive-resident counter behaves for deny decisions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class DlockDeniedError(Exception):
+    """Acquisition refused: a live conflicting dlock exists."""
+
+    def __init__(self, device: str, start_lba: int, length: int, holder: str):
+        super().__init__(f"dlock [{start_lba},{start_lba + length}) on {device} "
+                         f"held by {holder}")
+        self.holder = holder
+
+
+@dataclass
+class Dlock:
+    """One live device lock."""
+
+    holder: str
+    start_lba: int
+    length: int
+    acquired_at: float     # device-local time
+    ttl: float             # device-local seconds; lock dies at acquired_at + ttl
+
+    @property
+    def end_lba(self) -> int:
+        """One past the final covered lba."""
+        return self.start_lba + self.length
+
+    def expired(self, device_now: float) -> bool:
+        """Whether the device-enforced timeout has elapsed."""
+        return device_now >= self.acquired_at + self.ttl
+
+    def covers(self, lba: int) -> bool:
+        """Whether the range includes ``lba``."""
+        return self.start_lba <= lba < self.end_lba
+
+    def overlaps(self, start: int, length: int) -> bool:
+        """Whether the range intersects ``[start, start+length)``."""
+        return self.start_lba < start + length and start < self.end_lba
+
+
+class DlockTable:
+    """All dlocks on one device."""
+
+    def __init__(self, device: str):
+        self.device = device
+        self._locks: List[Dlock] = []
+        self.acquisitions = 0
+        self.denials = 0
+        self.expirations = 0
+
+    def _reap(self, device_now: float) -> None:
+        live = []
+        for lk in self._locks:
+            if lk.expired(device_now):
+                self.expirations += 1
+            else:
+                live.append(lk)
+        self._locks = live
+
+    def acquire(self, holder: str, start_lba: int, length: int,
+                ttl: float, device_now: float) -> Dlock:
+        """Take a range lock or raise :class:`DlockDeniedError`.
+
+        Re-acquisition by the current holder refreshes the timeout (the
+        GFS renewal idiom).
+        """
+        if length <= 0 or start_lba < 0:
+            raise ValueError("invalid dlock range")
+        if ttl <= 0:
+            raise ValueError("dlock ttl must be positive")
+        self._reap(device_now)
+        for lk in self._locks:
+            if lk.overlaps(start_lba, length):
+                if lk.holder == holder:
+                    continue
+                self.denials += 1
+                raise DlockDeniedError(self.device, start_lba, length, lk.holder)
+        # Drop the holder's own overlapping locks (refresh semantics).
+        self._locks = [lk for lk in self._locks
+                       if not (lk.holder == holder and lk.overlaps(start_lba, length))]
+        lock = Dlock(holder=holder, start_lba=start_lba, length=length,
+                     acquired_at=device_now, ttl=ttl)
+        self._locks.append(lock)
+        self.acquisitions += 1
+        return lock
+
+    def release(self, holder: str, start_lba: int, length: int,
+                device_now: float) -> bool:
+        """Drop the holder's locks overlapping the range; True if any did."""
+        self._reap(device_now)
+        before = len(self._locks)
+        self._locks = [lk for lk in self._locks
+                       if not (lk.holder == holder and lk.overlaps(start_lba, length))]
+        return len(self._locks) != before
+
+    def holder_of(self, lba: int, device_now: float) -> Optional[str]:
+        """Live holder covering an lba, if any."""
+        self._reap(device_now)
+        for lk in self._locks:
+            if lk.covers(lba):
+                return lk.holder
+        return None
+
+    def live_locks(self, device_now: float) -> List[Dlock]:
+        """Snapshot of unexpired locks."""
+        self._reap(device_now)
+        return list(self._locks)

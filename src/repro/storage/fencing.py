@@ -1,0 +1,49 @@
+"""Per-initiator fence tables (paper §2.1, §6).
+
+A fence is an instruction to a storage device (or to the fabric) to stop
+accepting I/O from a particular initiator.  The device enforces the
+denial indefinitely, until explicitly lifted.  Fencing is the backstop
+for *slow computers* whose clocks violate the rate-synchronization bound
+— the lease protocol cannot detect those, so Storage Tank constructs a
+fence at the same moment it times out a client's locks (§6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+
+@dataclass
+class FenceTable:
+    """The set of initiators a device currently refuses to serve."""
+
+    owner: str = "device"
+    _fenced: Set[str] = field(default_factory=set)
+    history: List[Tuple[float, str, str]] = field(default_factory=list)
+
+    def fence(self, initiator: str, time: float = 0.0) -> None:
+        """Deny all future I/O from ``initiator``."""
+        if initiator not in self._fenced:
+            self._fenced.add(initiator)
+            self.history.append((time, "fence", initiator))
+
+    def unfence(self, initiator: str, time: float = 0.0) -> None:
+        """Re-admit a previously fenced initiator."""
+        if initiator in self._fenced:
+            self._fenced.discard(initiator)
+            self.history.append((time, "unfence", initiator))
+
+    def is_fenced(self, initiator: str) -> bool:
+        """Whether I/O from ``initiator`` is currently denied."""
+        return initiator in self._fenced
+
+    @property
+    def fenced_initiators(self) -> Set[str]:
+        """Snapshot of the deny list."""
+        return set(self._fenced)
+
+    def clear(self, time: float = 0.0) -> None:
+        """Lift every fence."""
+        for ini in list(self._fenced):
+            self.unfence(ini, time)

@@ -1,0 +1,39 @@
+"""Synthetic file system workloads.
+
+The paper's §6 notes that "measurement of modern file system workloads
+are required to experimentally verify our design" — the prototype was
+never measured.  These generators provide the parameterized synthetic
+load the experiments sweep: per-client application processes issuing
+open/read/write/close with exponential think times, uniform or Zipf
+file popularity, and configurable read/write mixes and sharing levels.
+"""
+
+from repro.workloads.generator import (
+    WorkloadDriver,
+    WorkloadStats,
+    populate_files,
+    run_workload,
+)
+from repro.workloads.traces import (
+    Session,
+    TraceOp,
+    TraceProfile,
+    TraceReplayer,
+    TraceSynthesizer,
+    WorkloadTrace,
+)
+from repro.workloads.zipf import ZipfSampler
+
+__all__ = [
+    "Session",
+    "TraceOp",
+    "TraceProfile",
+    "TraceReplayer",
+    "TraceSynthesizer",
+    "WorkloadDriver",
+    "WorkloadStats",
+    "WorkloadTrace",
+    "ZipfSampler",
+    "populate_files",
+    "run_workload",
+]

@@ -1,0 +1,46 @@
+"""ASCII table rendering."""
+
+import pytest
+
+from repro.analysis import Table, format_table
+
+
+def test_add_row_and_columns():
+    t = Table("T", ["a", "b"])
+    t.add_row(1, 2)
+    t.add_row(3, 4)
+    assert t.column("a") == [1, 3]
+    assert t.as_dicts() == [{"a": 1, "b": 2}, {"a": 3, "b": 4}]
+
+
+def test_row_arity_checked():
+    t = Table("T", ["a", "b"])
+    with pytest.raises(ValueError):
+        t.add_row(1)
+
+
+def test_format_contains_everything():
+    t = Table("My Title", ["col", "val"])
+    t.add_row("x", 1.5)
+    t.note("a footnote")
+    out = str(t)
+    assert "My Title" in out
+    assert "col" in out and "val" in out
+    assert "1.5" in out
+    assert "a footnote" in out
+
+
+def test_float_formatting():
+    t = Table("T", ["v"])
+    t.add_row(0.0)
+    t.add_row(12345.678)
+    t.add_row(0.000123)
+    out = format_table(t)
+    assert "0" in out
+    assert "1.23e" in out or "0.000123" in out
+
+
+def test_unknown_column_raises():
+    t = Table("T", ["a"])
+    with pytest.raises(ValueError):
+        t.column("z")

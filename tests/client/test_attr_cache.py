@@ -1,0 +1,69 @@
+"""Weakly consistent attribute caching (paper §3, footnote 1)."""
+
+import pytest
+
+from repro.storage import BLOCK_SIZE
+
+from tests.conftest import make_system, run_gen
+
+
+def test_disabled_by_default_always_fetches():
+    s = make_system(n_clients=1)
+    c = s.client("c1")
+
+    def app():
+        yield from c.create("/f", size=BLOCK_SIZE)
+        yield from c.getattr("/f")
+        yield from c.getattr("/f")
+    run_gen(s, app())
+    assert c.attr_cache_hits == 0
+
+
+def test_cache_hit_within_ttl():
+    s = make_system(n_clients=1, attr_cache_ttl=5.0)
+    c = s.client("c1")
+
+    def app():
+        yield from c.create("/f", size=BLOCK_SIZE)
+        a1 = yield from c.getattr("/f")
+        a2 = yield from c.getattr("/f")
+        return (a1, a2)
+    a1, a2 = run_gen(s, app())
+    assert a1 == a2
+    assert c.attr_cache_hits == 1
+
+
+def test_staleness_bounded_by_ttl():
+    """Another client's setattr becomes visible within one TTL —
+    'eventually, but no instantaneous consistency guarantee'."""
+    s = make_system(n_clients=2, attr_cache_ttl=3.0)
+    c1, c2 = s.client("c1"), s.client("c2")
+    out = {}
+
+    def flow():
+        yield from c1.create("/f", size=BLOCK_SIZE)
+        out["v0"] = (yield from c2.getattr("/f")).version
+        # c1 modifies metadata.
+        fd = yield from c1.open_file("/f", "w")
+        yield from c1.write(fd, 4 * BLOCK_SIZE, BLOCK_SIZE)  # grows
+        # Within the TTL, c2 may still see the old version (weak).
+        out["v_stale"] = (yield from c2.getattr("/f")).version
+        yield s.sim.timeout(3.5)
+        out["v_fresh"] = (yield from c2.getattr("/f")).version
+    run_gen(s, flow())
+    assert out["v_stale"] == out["v0"]       # served from cache
+    assert out["v_fresh"] > out["v0"]        # propagated within one TTL
+
+
+def test_attr_cache_dropped_on_lease_expiry():
+    s = make_system(n_clients=1, attr_cache_ttl=1000.0)
+    c = s.client("c1")
+
+    def app():
+        yield from c.create("/f", size=BLOCK_SIZE)
+        yield from c.getattr("/f")
+    run_gen(s, app())
+    assert len(c._attr_cache) == 1
+    s.ctrl_partitions.isolate("c1")
+    s.run(until=60.0)  # lease expires
+    assert len(c._attr_cache) == 0

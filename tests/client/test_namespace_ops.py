@@ -1,0 +1,103 @@
+"""unlink/readdir end-to-end."""
+
+import pytest
+
+from repro.locks import LockMode
+from repro.net import NackError
+from repro.storage import BLOCK_SIZE
+
+from tests.conftest import make_system, run_gen
+
+
+def test_unlink_removes_file_and_frees_space():
+    s = make_system(n_clients=1)
+    c = s.client("c1")
+    free0 = s.server.metadata.allocator.total_free_blocks
+
+    def app():
+        yield from c.create("/f", size=8 * BLOCK_SIZE)
+        yield from c.unlink("/f")
+    run_gen(s, app())
+    assert not s.server.metadata.exists("/f")
+    assert s.server.metadata.allocator.total_free_blocks == free0
+
+
+def test_unlink_missing_nacks():
+    s = make_system(n_clients=1)
+    c = s.client("c1")
+
+    def app():
+        with pytest.raises(NackError):
+            yield from c.unlink("/ghost")
+    run_gen(s, app())
+
+
+def test_unlink_demands_lock_from_cacher():
+    """Unlinking a file someone else has locked demands their lock first
+    and invalidates their cached pages via the demand compliance path."""
+    s = make_system(n_clients=2, writeback_interval=1000.0)
+    c1, c2 = s.client("c1"), s.client("c2")
+    out = {}
+
+    def holder():
+        yield from c1.create("/f", size=BLOCK_SIZE)
+        fd = yield from c1.open_file("/f", "w")
+        yield from c1.write(fd, 0, BLOCK_SIZE)
+        out["fid"] = c1.fds.get(fd).file_id
+
+    def remover():
+        yield s.sim.timeout(2.0)
+        yield from c2.unlink("/f")
+        out["unlinked_at"] = s.sim.now
+    s.spawn(holder())
+    s.spawn(remover())
+    s.run(until=30.0)
+    assert out.get("unlinked_at") is not None
+    assert not s.server.metadata.exists("/f")
+    # The old holder complied: flushed, released, invalidated.
+    assert s.server.locks.mode_of("c1", out["fid"]) == LockMode.NONE
+    assert c1.cache.peek(out["fid"], 0) is None
+
+
+def test_unlinker_drops_own_state():
+    s = make_system(n_clients=1, writeback_interval=1000.0)
+    c = s.client("c1")
+    out = {}
+
+    def app():
+        yield from c.create("/f", size=BLOCK_SIZE)
+        fd = yield from c.open_file("/f", "w")
+        yield from c.write(fd, 0, BLOCK_SIZE)
+        out["fid"] = c.fds.get(fd).file_id
+        yield from c.unlink("/f")
+    run_gen(s, app())
+    assert c.locks.mode_of(out["fid"]) == LockMode.NONE
+    assert c.cache.peek(out["fid"], 0) is None
+
+
+def test_readdir_lists_entries():
+    s = make_system(n_clients=1)
+    c = s.client("c1")
+
+    def app():
+        yield from c.create("/dir/a", size=0)
+        yield from c.create("/dir/b", size=0)
+        yield from c.create("/other/c", size=0)
+        entries = yield from c.readdir("/dir")
+        return entries
+    entries = run_gen(s, app())
+    assert entries == ["/dir/a", "/dir/b"]
+
+
+def test_create_after_unlink_reuses_path():
+    s = make_system(n_clients=1)
+    c = s.client("c1")
+
+    def app():
+        yield from c.create("/f", size=BLOCK_SIZE)
+        yield from c.unlink("/f")
+        yield from c.create("/f", size=2 * BLOCK_SIZE)
+        attrs = yield from c.getattr("/f")
+        return attrs.size
+    size = run_gen(s, app())
+    assert size == 2 * BLOCK_SIZE

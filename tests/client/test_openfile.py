@@ -1,0 +1,65 @@
+"""Descriptor table and open instances."""
+
+import pytest
+
+from repro.client import FdTable
+from repro.locks import LockMode
+from repro.metadata import FileAttributes
+from repro.storage import Extent, ExtentMap
+
+
+def install(t, path="/f", fid=1, mode="r", lock=LockMode.SHARED):
+    em = ExtentMap([Extent("d", 0, 4)])
+    return t.install(path, fid, mode, FileAttributes(size=4 * 4096), em, lock)
+
+
+def test_install_and_get():
+    t = FdTable()
+    of = install(t)
+    assert t.get(of.fd) is of
+    assert of.fd >= 3
+
+
+def test_close_removes():
+    t = FdTable()
+    of = install(t)
+    t.close(of.fd)
+    with pytest.raises(KeyError):
+        t.get(of.fd)
+
+
+def test_fds_unique():
+    t = FdTable()
+    a = install(t)
+    b = install(t, path="/g", fid=2)
+    assert a.fd != b.fd
+
+
+def test_by_file_id():
+    t = FdTable()
+    install(t, fid=1)
+    install(t, fid=1, mode="w", lock=LockMode.EXCLUSIVE)
+    install(t, fid=2)
+    assert len(t.by_file_id(1)) == 2
+
+
+def test_wanted_lock_by_mode():
+    t = FdTable()
+    r = install(t, mode="r")
+    w = install(t, path="/g", fid=2, mode="w")
+    assert r.wanted_lock == LockMode.SHARED
+    assert w.wanted_lock == LockMode.EXCLUSIVE
+
+
+def test_mark_all_stale():
+    t = FdTable()
+    of = install(t, lock=LockMode.EXCLUSIVE)
+    t.mark_all_stale()
+    assert of.stale
+    assert of.lock == LockMode.NONE
+
+
+def test_resolve_delegates_to_extents():
+    t = FdTable()
+    of = install(t)
+    assert of.resolve(2) == ("d", 2)

@@ -1,0 +1,52 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SystemConfig, build_system
+from repro.sim import ClockEnsemble, RandomStreams, Simulator, TraceRecorder
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulator."""
+    return Simulator()
+
+
+@pytest.fixture
+def streams() -> RandomStreams:
+    """Seeded random streams."""
+    return RandomStreams(1234)
+
+
+@pytest.fixture
+def trace() -> TraceRecorder:
+    """An enabled trace recorder."""
+    return TraceRecorder(enabled=True)
+
+
+@pytest.fixture
+def clocks(streams) -> ClockEnsemble:
+    """A clock ensemble with the default ε."""
+    return ClockEnsemble(0.05, streams)
+
+
+def make_system(**overrides):
+    """Build a small system with test-friendly defaults."""
+    defaults = dict(n_clients=2, seed=42)
+    defaults.update(overrides)
+    return build_system(SystemConfig(**defaults))
+
+
+def drive(system, *gens, until=None):
+    """Spawn generators and run the system."""
+    procs = [system.spawn(g) for g in gens]
+    system.run(until=until)
+    return procs
+
+
+def run_gen(system, gen, hard_limit=600.0):
+    """Spawn one generator and run until it finishes; return its value."""
+    proc = system.spawn(gen)
+    return system.sim.run_until_event(proc, hard_limit=hard_limit)

@@ -1,0 +1,39 @@
+"""System configuration validation."""
+
+import pytest
+
+from repro.core import LeaseConfig, SystemConfig
+
+
+def test_defaults_build():
+    cfg = SystemConfig()
+    assert cfg.protocol == "storage_tank"
+    assert cfg.client_names() == ("c1", "c2")
+    assert cfg.disk_names() == ("disk1",)
+
+
+def test_unknown_protocol_rejected():
+    with pytest.raises(ValueError):
+        SystemConfig(protocol="carrier-pigeon")
+
+
+def test_min_counts():
+    with pytest.raises(ValueError):
+        SystemConfig(n_clients=0)
+    with pytest.raises(ValueError):
+        SystemConfig(n_disks=0)
+
+
+def test_lease_config_materializes_contract():
+    lc = LeaseConfig(tau=12.0, epsilon=0.02, renewal_frac=0.4,
+                     suspect_frac=0.6, flush_frac=0.8)
+    contract = lc.contract()
+    assert contract.tau == 12.0
+    assert contract.boundaries.renewal == 0.4
+    assert contract.server_wait_local() == pytest.approx(12.0 * 1.02)
+
+
+def test_client_names_scale():
+    cfg = SystemConfig(n_clients=5)
+    assert len(cfg.client_names()) == 5
+    assert cfg.client_names()[-1] == "c5"

@@ -1,0 +1,106 @@
+"""Fault injector schedules."""
+
+import pytest
+
+from repro.fault import (
+    FaultInjector,
+    client_crash,
+    fig2_control_partition,
+    san_partition,
+    transient_partition,
+)
+
+from tests.conftest import make_system
+
+
+def test_schedule_executes_in_order():
+    s = make_system()
+    inj = FaultInjector(s)
+    inj.at(2.0).isolate_client("c1")
+    inj.at(5.0).heal_control()
+    inj.start()
+    s.run(until=3.0)
+    assert not s.control_net.reachable("c1", "server")
+    s.run(until=6.0)
+    assert s.control_net.reachable("c1", "server")
+    assert [l for _, l in inj.log] == ["isolate:c1", "heal_control"]
+
+
+def test_at_required_before_action():
+    s = make_system()
+    inj = FaultInjector(s)
+    with pytest.raises(ValueError):
+        inj.isolate_client("c1")
+
+
+def test_one_way_block():
+    s = make_system()
+    inj = FaultInjector(s)
+    inj.at(1.0).block_one_way("c1", "server")
+    inj.start()
+    s.run(until=2.0)
+    assert not s.control_net.reachable("c1", "server")
+    assert s.control_net.reachable("server", "c1")
+
+
+def test_split_groups():
+    s = make_system(n_clients=3)
+    inj = FaultInjector(s)
+    inj.at(1.0).split_control({"c1", "c2"}, {"c3", "server"})
+    inj.start()
+    s.run(until=2.0)
+    assert s.control_net.reachable("c1", "c2")
+    assert not s.control_net.reachable("c1", "server")
+
+
+def test_san_partition_and_heal():
+    s = make_system()
+    inj = FaultInjector(s)
+    inj.at(1.0).partition_san("c1", "disk1")
+    inj.at(3.0).heal_san()
+    inj.start()
+    s.run(until=2.0)
+    assert not s.san.reachable("c1", "disk1")
+    s.run(until=4.0)
+    assert s.san.reachable("c1", "disk1")
+
+
+def test_crash_and_restart_client():
+    s = make_system()
+    inj = FaultInjector(s)
+    inj.at(1.0).crash_client("c1")
+    inj.at(3.0).restart_client("c1")
+    inj.start()
+    s.run(until=2.0)
+    assert not s.client("c1").endpoint.alive
+    s.run(until=4.0)
+    assert s.client("c1").endpoint.alive
+
+
+def test_custom_action():
+    s = make_system()
+    hit = []
+    inj = FaultInjector(s)
+    inj.at(1.5).custom("poke", lambda: hit.append(1))
+    inj.start()
+    s.run(until=2.0)
+    assert hit == [1]
+
+
+def test_injection_traced():
+    s = make_system()
+    inj = FaultInjector(s)
+    inj.at(1.0).isolate_client("c1")
+    inj.start()
+    s.run(until=2.0)
+    assert s.trace.count("fault.inject") == 1
+
+
+def test_canned_scenarios_build():
+    s = make_system()
+    for factory in (lambda: fig2_control_partition(s),
+                    lambda: transient_partition(s),
+                    lambda: client_crash(s, restart_at=20.0),
+                    lambda: san_partition(s, heal_at=10.0)):
+        inj = factory()
+        assert inj._steps  # schedule populated

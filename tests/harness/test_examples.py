@@ -1,0 +1,33 @@
+"""The examples must stay runnable (they are executable documentation)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+@pytest.mark.parametrize("script", [
+    "quickstart.py",
+    "partition_survivor.py",
+    "slow_client_fence.py",
+    "trace_replay.py",
+    "shared_log.py",
+])
+def test_example_runs_clean(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip()
+
+
+def test_protocol_shootout_runs_clean():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "protocol_shootout.py")],
+        capture_output=True, text=True, timeout=600)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    out = proc.stdout
+    assert "storage_tank" in out and "SAFE" in out and "UNSAFE" in out

@@ -1,0 +1,123 @@
+"""Arbitrary partitions, including asymmetric ones (paper §3: "our
+protocol addresses arbitrary partitions in the control network,
+including asymmetric partitions").
+
+A one-way link failure is nastier than a clean cut: one side keeps
+receiving and believes everything is fine.  Both directions must end in
+a safe steal and a clean audit.
+"""
+
+import pytest
+
+from repro.analysis import ConsistencyAuditor
+from repro.storage import BLOCK_SIZE
+
+from tests.conftest import make_system, run_gen
+
+
+def _holder_contender(s, horizon=130.0):
+    c1, c2 = s.client("c1"), s.client("c2")
+    log = {}
+
+    def holder():
+        yield from c1.create("/f", size=2 * BLOCK_SIZE)
+        fd = yield from c1.open_file("/f", "w")
+        log["tag"] = yield from c1.write(fd, 0, 2 * BLOCK_SIZE)
+        log["fid"] = c1.fds.get(fd).file_id
+
+    def contender():
+        yield s.sim.timeout(8.0)
+        while s.sim.now < horizon:
+            try:
+                fd = yield from c2.open_file("/f", "w")
+                log["takeover"] = s.sim.now
+                log["read"] = yield from c2.read(fd, 0, BLOCK_SIZE)
+                return
+            except Exception:
+                yield s.sim.timeout(1.0)
+    s.spawn(holder())
+    s.spawn(contender())
+    return log
+
+
+def test_one_way_server_to_client_blocked():
+    """The server cannot reach c1, but c1's datagrams still arrive.
+
+    The server's demand goes unACKed → suspect → its replies (including
+    NACKs) are lost too, so c1's lease silently starves and expires; the
+    steal happens strictly after.
+    """
+    s = make_system(n_clients=2, writeback_interval=1000.0)
+    log = _holder_contender(s)
+
+    def cut():
+        yield s.sim.timeout(5.0)
+        s.control_net.block("server", "c1")
+    s.spawn(cut())
+    s.run(until=130.0)
+
+    assert log.get("takeover") is not None
+    assert log["read"][0][1] == log["tag"]  # phase-4 flush won the race
+    report = ConsistencyAuditor(s).audit()
+    assert report.safe, report.summary()
+    steals = [r.time for r in s.trace.select(kind="lease.steal")]
+    expires = [r.time for r in s.trace.select(kind="lease.expire", node="c1")]
+    assert min(expires) <= min(steals) + 1e-9
+
+
+def test_one_way_client_to_server_blocked():
+    """c1 cannot reach the server, but server→c1 still flows.
+
+    c1's requests and keep-alives vanish, so no ACK ever renews its
+    lease; the server's demand *arrives* and is ACKed — but the ACK is
+    lost, so the server still (correctly) suspects c1.
+    """
+    s = make_system(n_clients=2, writeback_interval=1000.0)
+    log = _holder_contender(s)
+
+    def cut():
+        yield s.sim.timeout(5.0)
+        s.control_net.block("c1", "server")
+    s.spawn(cut())
+    s.run(until=130.0)
+
+    assert log.get("takeover") is not None
+    assert log["read"][0][1] == log["tag"]
+    report = ConsistencyAuditor(s).audit()
+    assert report.safe, report.summary()
+    # c1 walked its phases and expired before the steal.
+    steals = [r.time for r in s.trace.select(kind="lease.steal")]
+    expires = [r.time for r in s.trace.select(kind="lease.expire", node="c1")]
+    assert min(expires) <= min(steals) + 1e-9
+
+
+def test_client_pair_partition_only():
+    """Clients partitioned from each other but both reaching the server:
+    no failure at all from the protocol's perspective — coherence flows
+    through the server's demand machinery."""
+    s = make_system(n_clients=2, writeback_interval=1000.0)
+    c1, c2 = s.client("c1"), s.client("c2")
+    s.control_net.block_pair("c1", "c2")  # irrelevant: clients never talk
+    out = {}
+
+    def writer():
+        yield from c1.create("/f", size=BLOCK_SIZE)
+        fd = yield from c1.open_file("/f", "w")
+        out["tag"] = yield from c1.write(fd, 0, BLOCK_SIZE)
+
+    def reader():
+        yield s.sim.timeout(2.0)
+        fd = yield from c2.open_file("/f", "r")
+        out["read"] = yield from c2.read(fd, 0, BLOCK_SIZE)
+    s.spawn(writer())
+    s.spawn(reader())
+    s.run(until=30.0)
+    assert out["read"][0][1] == out["tag"]
+    assert s.server.locks.steals == 0  # nobody was suspected
+
+
+def test_views_asymmetric_for_one_way_cut():
+    s = make_system(n_clients=2)
+    s.control_net.block("server", "c1")
+    views = s.network_views()
+    assert not views["symmetric"]

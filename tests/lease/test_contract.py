@@ -1,0 +1,95 @@
+"""Lease arithmetic and Theorem 3.1."""
+
+import pytest
+
+from repro.lease import LeaseContract, PhaseBoundaries, verify_theorem_3_1
+from repro.sim import LocalClock
+
+
+def test_defaults_valid():
+    c = LeaseContract()
+    assert c.tau == 30.0
+    assert c.server_wait_local() == pytest.approx(30.0 * 1.05)
+
+
+def test_invalid_params():
+    with pytest.raises(ValueError):
+        LeaseContract(tau=0)
+    with pytest.raises(ValueError):
+        LeaseContract(epsilon=-0.1)
+    with pytest.raises(ValueError):
+        PhaseBoundaries(renewal=0.8, suspect=0.7, flush=0.9)
+    with pytest.raises(ValueError):
+        PhaseBoundaries(renewal=0.0, suspect=0.5, flush=0.9)
+
+
+def test_client_expiry():
+    c = LeaseContract(tau=10.0)
+    assert c.client_expiry_local(100.0) == 110.0
+
+
+def test_phase_starts():
+    c = LeaseContract(tau=10.0, boundaries=PhaseBoundaries(0.5, 0.75, 0.9))
+    assert c.phase_start_local(0.0, 1) == 0.0
+    assert c.phase_start_local(0.0, 2) == 5.0
+    assert c.phase_start_local(0.0, 3) == 7.5
+    assert c.phase_start_local(0.0, 4) == 9.0
+    assert c.phase_start_local(0.0, 5) == 10.0
+    with pytest.raises(ValueError):
+        c.phase_start_local(0.0, 6)
+
+
+def test_keepalive_interval_fits_phase2():
+    c = LeaseContract(tau=30.0)
+    width = (c.boundaries.suspect - c.boundaries.renewal) * c.tau
+    assert 0 < c.keepalive_interval_local() <= width / 2
+
+
+def test_server_wait_exceeds_tau():
+    c = LeaseContract(tau=30.0, epsilon=0.05)
+    assert c.server_wait_local() > c.tau
+
+
+def test_theorem_holds_identity_clocks():
+    c = LeaseContract(tau=30.0, epsilon=0.0)
+    clk = LocalClock("x")
+    ok, margin = verify_theorem_3_1(c, clk, clk, 10.0, 12.0)
+    assert ok
+    # identical clocks: steal at t_S2 + tau, expiry at t_C1 + tau
+    assert margin == pytest.approx(2.0)
+
+
+def test_theorem_holds_worst_case_skew():
+    eps = 0.05
+    c = LeaseContract(tau=30.0, epsilon=eps)
+    # worst case: client slowest allowed, server fastest allowed
+    fast = (1 + eps) ** 0.5
+    slow = 1.0 / fast
+    client = LocalClock("c", rate=slow, offset=50.0)
+    server = LocalClock("s", rate=fast, offset=-20.0)
+    ok, margin = verify_theorem_3_1(c, client, server, 100.0, 100.0)
+    assert ok
+    assert margin >= 0.0
+
+
+def test_theorem_violated_outside_bound():
+    """A clock past the ε bound breaks the guarantee — the §6 slow
+    computer, which is why fencing stays as a backstop."""
+    c = LeaseContract(tau=30.0, epsilon=0.05)
+    client = LocalClock("c", rate=0.5)  # way below 1/sqrt(1.05)
+    server = LocalClock("s", rate=1.0)
+    ok, margin = verify_theorem_3_1(c, client, server, 0.0, 0.0)
+    assert not ok
+    assert margin < 0
+
+
+def test_theorem_rejects_acausal_ack():
+    c = LeaseContract()
+    clk = LocalClock("x")
+    with pytest.raises(ValueError):
+        verify_theorem_3_1(c, clk, clk, 10.0, 9.0)
+
+
+def test_worst_case_unavailability():
+    c = LeaseContract(tau=30.0, epsilon=0.05)
+    assert c.worst_case_unavailability(4.0) == pytest.approx(4.0 + 31.5)

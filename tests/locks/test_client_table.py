@@ -1,0 +1,51 @@
+"""Client-side cached lock view."""
+
+from repro.locks import ClientLockTable, LockMode
+
+
+def test_grant_and_covers():
+    t = ClientLockTable()
+    t.note_granted(1, LockMode.SHARED)
+    assert t.covers(1, LockMode.SHARED)
+    assert not t.covers(1, LockMode.EXCLUSIVE)
+    assert not t.covers(2, LockMode.SHARED)
+
+
+def test_strongest_mode_wins():
+    t = ClientLockTable()
+    t.note_granted(1, LockMode.EXCLUSIVE)
+    t.note_granted(1, LockMode.SHARED)  # weaker grant does not downgrade
+    assert t.mode_of(1) == LockMode.EXCLUSIVE
+
+
+def test_release():
+    t = ClientLockTable()
+    t.note_granted(1, LockMode.SHARED)
+    t.note_released(1)
+    assert t.mode_of(1) == LockMode.NONE
+    t.note_released(1)  # idempotent
+
+
+def test_downgrade():
+    t = ClientLockTable()
+    t.note_granted(1, LockMode.EXCLUSIVE)
+    t.note_downgraded(1, LockMode.SHARED)
+    assert t.mode_of(1) == LockMode.SHARED
+    t.note_downgraded(1, LockMode.NONE)
+    assert t.mode_of(1) == LockMode.NONE
+
+
+def test_downgrade_ignores_upgrades():
+    t = ClientLockTable()
+    t.note_granted(1, LockMode.SHARED)
+    t.note_downgraded(1, LockMode.EXCLUSIVE)  # nonsense; ignored
+    assert t.mode_of(1) == LockMode.SHARED
+
+
+def test_drop_all_returns_holdings():
+    t = ClientLockTable()
+    t.note_granted(1, LockMode.SHARED)
+    t.note_granted(2, LockMode.EXCLUSIVE)
+    dropped = dict(t.drop_all())
+    assert dropped == {1: LockMode.SHARED, 2: LockMode.EXCLUSIVE}
+    assert len(t) == 0

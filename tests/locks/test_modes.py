@@ -1,0 +1,32 @@
+"""Lock mode compatibility matrix."""
+
+from repro.locks import LockMode, compatible, satisfies
+
+
+def test_shared_shared_compatible():
+    assert compatible(LockMode.SHARED, LockMode.SHARED)
+
+
+def test_exclusive_conflicts():
+    assert not compatible(LockMode.EXCLUSIVE, LockMode.SHARED)
+    assert not compatible(LockMode.SHARED, LockMode.EXCLUSIVE)
+    assert not compatible(LockMode.EXCLUSIVE, LockMode.EXCLUSIVE)
+
+
+def test_none_compatible_with_all():
+    for m in LockMode:
+        assert compatible(LockMode.NONE, m)
+        assert compatible(m, LockMode.NONE)
+
+
+def test_satisfies_ordering():
+    assert satisfies(LockMode.EXCLUSIVE, LockMode.SHARED)
+    assert satisfies(LockMode.SHARED, LockMode.SHARED)
+    assert not satisfies(LockMode.SHARED, LockMode.EXCLUSIVE)
+    assert not satisfies(LockMode.NONE, LockMode.SHARED)
+
+
+def test_short_names():
+    assert LockMode.SHARED.short == "S"
+    assert LockMode.EXCLUSIVE.short == "X"
+    assert LockMode.NONE.short == "-"

@@ -1,0 +1,82 @@
+"""Extent allocation: round-robin, recycling, exhaustion."""
+
+import pytest
+
+from repro.metadata import AllocationError, ExtentAllocator
+
+
+@pytest.fixture
+def alloc():
+    a = ExtentAllocator()
+    a.add_device("d1", 100)
+    a.add_device("d2", 100)
+    return a
+
+
+def test_allocate_simple(alloc):
+    exts = alloc.allocate(10)
+    assert sum(e.length for e in exts) == 10
+
+
+def test_round_robin_spreads_devices(alloc):
+    a = alloc.allocate(10)
+    b = alloc.allocate(10)
+    assert {a[0].device, b[0].device} == {"d1", "d2"}
+
+
+def test_no_overlap_within_device(alloc):
+    taken = {}
+    for _ in range(10):
+        for e in alloc.allocate(15):
+            for lba in range(e.start_lba, e.end_lba):
+                key = (e.device, lba)
+                assert key not in taken
+                taken[key] = True
+
+
+def test_spans_devices_when_needed(alloc):
+    exts = alloc.allocate(150)
+    assert sum(e.length for e in exts) == 150
+    assert {e.device for e in exts} == {"d1", "d2"}
+
+
+def test_exhaustion_raises(alloc):
+    alloc.allocate(150)
+    with pytest.raises(AllocationError):
+        alloc.allocate(60)
+
+
+def test_free_then_reallocate(alloc):
+    exts = alloc.allocate(200)  # everything
+    alloc.free(exts)
+    exts2 = alloc.allocate(200)
+    assert sum(e.length for e in exts2) == 200
+
+
+def test_total_free_accounting(alloc):
+    assert alloc.total_free_blocks == 200
+    exts = alloc.allocate(30)
+    assert alloc.total_free_blocks == 170
+    alloc.free(exts)
+    assert alloc.total_free_blocks == 200
+
+
+def test_invalid_requests(alloc):
+    with pytest.raises(ValueError):
+        alloc.allocate(0)
+    with pytest.raises(ValueError):
+        alloc.add_device("d1", 50)  # duplicate
+    with pytest.raises(ValueError):
+        alloc.add_device("d3", 0)
+
+
+def test_no_devices():
+    a = ExtentAllocator()
+    with pytest.raises(AllocationError):
+        a.allocate(1)
+
+
+def test_free_unknown_device(alloc):
+    from repro.storage import Extent
+    with pytest.raises(KeyError):
+        alloc.free([Extent("ghost", 0, 5)])

@@ -1,0 +1,74 @@
+"""Namespace operations."""
+
+import pytest
+
+from repro.metadata import Directory, NamespaceError
+
+
+@pytest.fixture
+def d():
+    return Directory()
+
+
+def test_create_lookup(d):
+    d.create("/a/b", 7)
+    assert d.lookup("/a/b") == 7
+
+
+def test_paths_normalized(d):
+    d.create("/a//b/", 7)
+    assert d.lookup("/a/b") == 7
+
+
+def test_relative_path_rejected(d):
+    with pytest.raises(NamespaceError):
+        d.create("a/b", 1)
+    with pytest.raises(NamespaceError):
+        d.lookup("")
+
+
+def test_duplicate_create_rejected(d):
+    d.create("/x", 1)
+    with pytest.raises(NamespaceError):
+        d.create("/x", 2)
+
+
+def test_lookup_missing(d):
+    with pytest.raises(NamespaceError):
+        d.lookup("/nope")
+
+
+def test_exists(d):
+    d.create("/x", 1)
+    assert d.exists("/x")
+    assert not d.exists("/y")
+
+
+def test_unlink(d):
+    d.create("/x", 1)
+    assert d.unlink("/x") == 1
+    assert not d.exists("/x")
+    with pytest.raises(NamespaceError):
+        d.unlink("/x")
+
+
+def test_listdir(d):
+    d.create("/dir/a", 1)
+    d.create("/dir/b", 2)
+    d.create("/dir/sub/c", 3)
+    d.create("/other", 4)
+    entries = d.listdir("/dir")
+    assert entries == ["/dir/a", "/dir/b", "/dir/sub"]
+
+
+def test_listdir_root(d):
+    d.create("/a", 1)
+    d.create("/b/c", 2)
+    assert d.listdir("/") == ["/a", "/b"]
+
+
+def test_len_and_iter(d):
+    d.create("/b", 2)
+    d.create("/a", 1)
+    assert len(d) == 2
+    assert list(d) == ["/a", "/b"]

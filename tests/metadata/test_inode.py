@@ -1,0 +1,34 @@
+"""Inode attribute mechanics."""
+
+import pytest
+
+from repro.metadata import FileAttributes, Inode
+
+
+def test_attrs_payload_roundtrip():
+    a = FileAttributes(size=100, mtime=1.5, ctime=0.5, mode=0o644, version=3)
+    b = FileAttributes.from_payload(a.to_payload())
+    assert a == b
+
+
+def test_touch_bumps_version_and_mtime():
+    ino = Inode(file_id=1)
+    v0 = ino.attrs.version
+    ino.touch(now=5.0)
+    assert ino.attrs.version == v0 + 1
+    assert ino.attrs.mtime == 5.0
+
+
+def test_set_size():
+    ino = Inode(file_id=1)
+    ino.set_size(4096, now=2.0)
+    assert ino.attrs.size == 4096
+    with pytest.raises(ValueError):
+        ino.set_size(-1, now=2.0)
+
+
+def test_allocated_bytes_tracks_extents():
+    from repro.storage import Extent
+    ino = Inode(file_id=1)
+    ino.extents.append(Extent("d", 0, 2))
+    assert ino.allocated_bytes == 2 * 4096

@@ -1,0 +1,77 @@
+"""Exhaustive boundary-grid verification of Theorem 3.1.
+
+Monte-Carlo (E4) and hypothesis sampling can in principle miss the exact
+corners; this test *enumerates* every combination of boundary values —
+extreme in-bound clock rates, extreme offsets, zero/large delays, tiny
+and huge τ — and checks the ordering for all of them.  Roughly 10k
+deterministic cases per run.
+"""
+
+import itertools
+import math
+
+from repro.lease import LeaseContract, verify_theorem_3_1
+from repro.sim import LocalClock
+
+
+def test_theorem_31_exhaustive_boundary_grid():
+    epsilons = (0.0, 0.01, 0.1, 0.5)
+    taus = (0.001, 1.0, 30.0, 86400.0)
+    offsets = (-1e6, 0.0, 1e6)
+    t_sends = (0.0, 1.0, 1e5)
+    delays = (0.0, 1e-9, 1.0, 1e4)
+
+    checked = 0
+    for eps in epsilons:
+        lo = 1.0 / math.sqrt(1.0 + eps)
+        hi = math.sqrt(1.0 + eps)
+        rates = (lo, 1.0, hi)
+        for tau in taus:
+            contract = LeaseContract(tau=tau, epsilon=eps)
+            for (rc, rs, oc, os_, t_send, d) in itertools.product(
+                    rates, rates, offsets, offsets, t_sends, delays):
+                client = LocalClock("c", rate=rc, offset=oc)
+                server = LocalClock("s", rate=rs, offset=os_)
+                ok, margin = verify_theorem_3_1(contract, client, server,
+                                                t_send, t_send + d)
+                assert ok, (eps, tau, rc, rs, oc, os_, t_send, d, margin)
+                checked += 1
+    assert checked == (len(epsilons) * len(taus) * 3 * 3
+                       * len(offsets) ** 2 * len(t_sends) * len(delays))
+
+
+def test_theorem_31_exhaustive_violation_corners():
+    """Just past the bound, every corner combination violates for some
+    schedule — the guarantee is tight, not conservative."""
+    eps = 0.05
+    contract = LeaseContract(tau=30.0, epsilon=eps)
+    lo = 1.0 / math.sqrt(1.0 + eps)
+    hi = math.sqrt(1.0 + eps)
+    # Client slightly slower than allowed, server fastest allowed, zero
+    # delay: the slack is exactly zero at the bound, so any excess breaks.
+    for excess in (1.001, 1.01, 1.1, 2.0):
+        client = LocalClock("c", rate=lo / excess)
+        server = LocalClock("s", rate=hi)
+        ok, margin = verify_theorem_3_1(contract, client, server, 0.0, 0.0)
+        assert not ok
+        assert margin < 0
+
+
+def test_theorem_31_margin_grows_with_delay():
+    """Every unit of network delay between t_C1 and t_S2 adds safety
+    margin — enumerated, monotone, for all boundary clock pairs."""
+    eps = 0.1
+    contract = LeaseContract(tau=30.0, epsilon=eps)
+    lo = 1.0 / math.sqrt(1.0 + eps)
+    hi = math.sqrt(1.0 + eps)
+    for rc in (lo, 1.0, hi):
+        for rs in (lo, 1.0, hi):
+            client = LocalClock("c", rate=rc)
+            server = LocalClock("s", rate=rs)
+            margins = []
+            for d in (0.0, 0.5, 1.0, 5.0, 50.0):
+                _ok, m = verify_theorem_3_1(contract, client, server, 10.0,
+                                            10.0 + d)
+                margins.append(m)
+            assert margins == sorted(margins)
+            assert margins[0] >= -1e-9

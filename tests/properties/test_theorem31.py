@@ -1,0 +1,88 @@
+"""Property-based verification of Theorem 3.1 (the paper's core safety
+argument) over the full space of rate-synchronized clocks and message
+timings."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lease import LeaseContract, verify_theorem_3_1
+from repro.sim import LocalClock
+
+
+def rates_within(epsilon):
+    lo = 1.0 / math.sqrt(1.0 + epsilon)
+    hi = math.sqrt(1.0 + epsilon)
+    return st.floats(min_value=lo, max_value=hi, allow_nan=False)
+
+
+@settings(max_examples=300, deadline=None)
+@given(
+    epsilon=st.floats(min_value=0.0, max_value=0.5),
+    data=st.data(),
+    tau=st.floats(min_value=0.1, max_value=3600.0),
+    t_send=st.floats(min_value=0.0, max_value=1e6),
+    ack_delay=st.floats(min_value=0.0, max_value=1e4),
+    c_off=st.floats(min_value=-1e5, max_value=1e5),
+    s_off=st.floats(min_value=-1e5, max_value=1e5),
+)
+def test_theorem_holds_for_all_inbound_clocks(epsilon, data, tau, t_send,
+                                              ack_delay, c_off, s_off):
+    """For every pair of clocks within ε and every message schedule, the
+    server's τ(1+ε) wait ends at or after the client lease expiry."""
+    c_rate = data.draw(rates_within(epsilon))
+    s_rate = data.draw(rates_within(epsilon))
+    contract = LeaseContract(tau=tau, epsilon=epsilon)
+    client = LocalClock("c", rate=c_rate, offset=c_off)
+    server = LocalClock("s", rate=s_rate, offset=s_off)
+    ok, margin = verify_theorem_3_1(contract, client, server,
+                                    t_send, t_send + ack_delay)
+    assert ok, f"margin={margin}"
+    assert margin >= -1e-6
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    epsilon=st.floats(min_value=0.01, max_value=0.3),
+    tau=st.floats(min_value=1.0, max_value=600.0),
+    violation=st.floats(min_value=1.5, max_value=10.0),
+    t_send=st.floats(min_value=0.0, max_value=1e5),
+)
+def test_theorem_breaks_when_client_too_slow(epsilon, tau, violation, t_send):
+    """A client clock slower than the bound (the §6 'slow computer')
+    invalidates the guarantee — fencing must back the protocol up."""
+    contract = LeaseContract(tau=tau, epsilon=epsilon)
+    slow_rate = (1.0 / math.sqrt(1.0 + epsilon)) / violation
+    client = LocalClock("c", rate=slow_rate)
+    server = LocalClock("s", rate=math.sqrt(1.0 + epsilon))
+    ok, margin = verify_theorem_3_1(contract, client, server, t_send, t_send)
+    assert not ok
+    assert margin < 0
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    epsilon=st.floats(min_value=0.0, max_value=0.3),
+    data=st.data(),
+    tau=st.floats(min_value=1.0, max_value=600.0),
+    t_send=st.floats(min_value=0.0, max_value=1e5),
+    ack_delay=st.floats(min_value=0.0, max_value=100.0),
+    renewal_gap=st.floats(min_value=0.0, max_value=1000.0),
+)
+def test_renewal_monotonicity(epsilon, data, tau, t_send, ack_delay,
+                              renewal_gap):
+    """A later renewal never *reduces* safety: the margin for a renewal
+    initiated later (with the same server decision point) only grows."""
+    c_rate = data.draw(rates_within(epsilon))
+    s_rate = data.draw(rates_within(epsilon))
+    contract = LeaseContract(tau=tau, epsilon=epsilon)
+    client = LocalClock("c", rate=c_rate)
+    server = LocalClock("s", rate=s_rate)
+    t2 = t_send + renewal_gap
+    _, m1 = verify_theorem_3_1(contract, client, server, t_send,
+                               t2 + ack_delay)
+    _, m2 = verify_theorem_3_1(contract, client, server, t2,
+                               t2 + ack_delay)
+    assert m2 <= m1 + 1e-6  # later lease start -> later expiry -> smaller margin, still >= 0
+    assert m2 >= -1e-6

@@ -1,0 +1,91 @@
+"""GFS-flavoured dlock client."""
+
+import pytest
+
+from repro.net.san import SanFabric
+from repro.protocols import DlockClient
+from repro.sim import ClockEnsemble, RandomStreams, Simulator
+from repro.storage import VirtualDisk
+
+
+def make(ttl=5.0, **kwargs):
+    sim = Simulator()
+    streams = RandomStreams(9)
+    san = SanFabric(sim, streams)
+    disk = VirtualDisk("d", 1024)
+    san.attach_device(disk)
+    ens = ClockEnsemble(0.0, streams)
+    c1 = DlockClient(sim, san, "g1", "d", ens.create("g1"), dlock_ttl=ttl, **kwargs)
+    c2 = DlockClient(sim, san, "g2", "d", ens.create("g2"), dlock_ttl=ttl, **kwargs)
+    return sim, san, disk, c1, c2
+
+
+def run(sim, gen, until=None):
+    proc = sim.process(gen)
+    sim.run(until=until)
+    return proc.value if proc.processed else None
+
+
+def test_write_read_roundtrip():
+    sim, san, disk, c1, c2 = make()
+    tag = run(sim, c1.write_range(0, 4))
+    assert tag is not None
+    res = run(sim, c2.read_range(0, 4))
+    assert all(t == tag for _lba, t in res)
+
+
+def test_contention_serializes():
+    sim, san, disk, c1, c2 = make()
+    tags = []
+
+    def a():
+        tags.append((yield from c1.write_range(0, 4)))
+
+    def b():
+        tags.append((yield from c2.write_range(0, 4)))
+    sim.process(a())
+    sim.process(b())
+    sim.run()
+    assert all(t is not None for t in tags)
+    # The final disk state is entirely one writer's tag (no interleaving).
+    final = {disk.peek(i).tag for i in range(4)}
+    assert len(final) == 1
+
+
+def test_crashed_holder_blocks_until_ttl():
+    sim, san, disk, c1, c2 = make(ttl=5.0, max_retries=200)
+    log = {}
+
+    def holder():
+        yield from san.dlock_acquire("g1", "d", 0, 4, 5.0, sim.now)
+        # crash: never writes, never releases
+
+    def contender():
+        yield sim.timeout(0.5)
+        tag = yield from c2.write_range(0, 4)
+        log["t"] = sim.now
+        log["tag"] = tag
+    sim.process(holder())
+    sim.process(contender())
+    sim.run(until=60.0)
+    assert log["tag"] is not None
+    assert log["t"] == pytest.approx(5.0, abs=1.0)
+    assert c2.denials > 0
+
+
+def test_gives_up_after_max_retries():
+    sim, san, disk, c1, c2 = make(ttl=100.0, max_retries=3)
+
+    def holder():
+        yield from san.dlock_acquire("g1", "d", 0, 4, 100.0, sim.now)
+
+    out = {}
+
+    def contender():
+        yield sim.timeout(0.5)
+        out["tag"] = yield from c2.write_range(0, 4)
+    sim.process(holder())
+    sim.process(contender())
+    sim.run(until=30.0)
+    assert out["tag"] is None
+    assert c2.app_errors == 1

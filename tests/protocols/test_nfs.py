@@ -1,0 +1,81 @@
+"""NFS attribute polling: no locks, bounded-staleness cache."""
+
+import pytest
+
+from repro.storage import BLOCK_SIZE
+
+from tests.conftest import make_system, run_gen
+
+
+def test_basic_io_roundtrip():
+    s = make_system(protocol="nfs", n_clients=1)
+    c = s.client("c1")
+
+    def app():
+        yield from c.create("/f", size=2 * BLOCK_SIZE)
+        fd = yield from c.open_file("/f", "w")
+        tag = yield from c.write(fd, 0, BLOCK_SIZE)
+        yield from c.close(fd)
+        fd2 = yield from c.open_file("/f", "r")
+        res = yield from c.read(fd2, 0, BLOCK_SIZE)
+        return (tag, res)
+    tag, res = run_gen(s, app())
+    assert res == [(0, tag)]
+
+
+def test_no_locks_taken():
+    s = make_system(protocol="nfs", n_clients=1)
+    c = s.client("c1")
+
+    def app():
+        yield from c.create("/f", size=BLOCK_SIZE)
+        fd = yield from c.open_file("/f", "w")
+        yield from c.write(fd, 0, BLOCK_SIZE)
+        yield from c.close(fd)
+    run_gen(s, app())
+    assert s.server.locks.grants == 0
+
+
+def test_stale_read_within_ttl():
+    """Reader keeps serving its cache until the attribute TTL lapses —
+    the incoherence window the paper cites (§5)."""
+    s = make_system(protocol="nfs", n_clients=2, nfs_attr_ttl=5.0)
+    c1, c2 = s.client("c1"), s.client("c2")
+    out = {}
+
+    def writer_then_reader():
+        yield from c1.create("/f", size=BLOCK_SIZE)
+        fd1 = yield from c1.open_file("/f", "w")
+        out["t1"] = yield from c1.write(fd1, 0, BLOCK_SIZE)
+        yield from c1.close(fd1)
+        # c2 reads and caches
+        fd2 = yield from c2.open_file("/f", "r")
+        out["r1"] = yield from c2.read(fd2, 0, BLOCK_SIZE)
+        # c1 overwrites
+        fd1 = yield from c1.open_file("/f", "w")
+        out["t2"] = yield from c1.write(fd1, 0, BLOCK_SIZE)
+        yield from c1.close(fd1)
+        # within TTL: stale
+        out["r2"] = yield from c2.read(fd2, 0, BLOCK_SIZE)
+        # after TTL: poll revalidates
+        yield s.sim.timeout(6.0)
+        out["r3"] = yield from c2.read(fd2, 0, BLOCK_SIZE)
+    run_gen(s, writer_then_reader())
+    assert out["r1"] == [(0, out["t1"])]
+    assert out["r2"] == [(0, out["t1"])]   # stale!
+    assert out["r3"] == [(0, out["t2"])]   # revalidated
+    assert c2.polls_sent >= 1
+
+
+def test_poll_counter():
+    s = make_system(protocol="nfs", n_clients=1, nfs_attr_ttl=1.0)
+    c = s.client("c1")
+
+    def app():
+        yield from c.create("/f", size=BLOCK_SIZE)
+        fd = yield from c.open_file("/f", "r")
+        for _ in range(5):
+            yield s.sim.timeout(2.0)
+            yield from c.read(fd, 0, BLOCK_SIZE)
+    run_gen(s, app())
+    assert c.polls_sent >= 4

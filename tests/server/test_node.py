@@ -1,0 +1,175 @@
+"""Server transactions, demand loops, steal-and-fence."""
+
+import pytest
+
+from repro.locks import LockMode
+from repro.net.message import MsgKind
+from repro.storage import BLOCK_SIZE
+
+from tests.conftest import make_system, run_gen
+
+
+def test_create_rejects_duplicate():
+    from repro.net import NackError
+    s = make_system(n_clients=1)
+    c = s.client("c1")
+
+    def app():
+        yield from c.create("/f")
+        with pytest.raises(NackError):
+            yield from c.create("/f")
+    run_gen(s, app())
+
+
+def test_getattr_by_path_and_missing():
+    from repro.net import NackError
+    s = make_system(n_clients=1)
+    c = s.client("c1")
+
+    def app():
+        yield from c.create("/f", size=BLOCK_SIZE)
+        attrs = yield from c.getattr("/f")
+        assert attrs.size == BLOCK_SIZE
+        with pytest.raises(NackError):
+            yield from c.getattr("/missing")
+    run_gen(s, app())
+
+
+def test_transactions_counted():
+    s = make_system(n_clients=1)
+    c = s.client("c1")
+
+    def app():
+        yield from c.create("/f")
+        yield from c.getattr("/f")
+    run_gen(s, app())
+    assert s.server.transactions >= 2
+
+
+def test_server_ships_no_data_in_direct_mode():
+    s = make_system(n_clients=1)
+    c = s.client("c1")
+
+    def app():
+        yield from c.create("/f", size=4 * BLOCK_SIZE)
+        fd = yield from c.open_file("/f", "w")
+        yield from c.write(fd, 0, 4 * BLOCK_SIZE)
+        yield from c.close(fd)
+        yield from c.read(fd, 0, BLOCK_SIZE) if False else iter(())
+    s.spawn(app())
+    s.run(until=10.0)
+    assert s.server.data_bytes_served == 0
+    assert s.san.bytes_written > 0
+
+
+def test_server_marshalled_data_path():
+    s = make_system(n_clients=1, data_path="server")
+    c = s.client("c1")
+
+    def app():
+        yield from c.create("/f", size=2 * BLOCK_SIZE)
+        fd = yield from c.open_file("/f", "w")
+        tag = yield from c.write(fd, 0, BLOCK_SIZE)
+        yield from c.flush(fd)
+        c.cache.invalidate_all()
+        res = yield from c.read(fd, 0, BLOCK_SIZE)
+        return (tag, res)
+    tag, res = run_gen(s, app())
+    assert res == [(0, tag)]
+    assert s.server.data_bytes_served == 2 * BLOCK_SIZE  # one write + one read
+
+
+def test_steal_client_fences_and_frees_locks():
+    s = make_system(n_clients=2)
+    c1 = s.client("c1")
+    out = {}
+
+    def app():
+        yield from c1.create("/f", size=BLOCK_SIZE)
+        fd = yield from c1.open_file("/f", "w")
+        out["fid"] = c1.fds.get(fd).file_id
+    run_gen(s, app())
+    s.server.steal_client("c1")
+    assert s.server.locks.mode_of("c1", out["fid"]) == LockMode.NONE
+    assert "c1" in s.server.fenced_clients
+    for disk in s.disks.values():
+        assert disk.fence_table.is_fenced("c1")
+
+
+def test_unfence_on_rejoin():
+    s = make_system(n_clients=2)
+    c1 = s.client("c1")
+
+    def setup():
+        yield from c1.create("/f", size=BLOCK_SIZE)
+        yield from c1.open_file("/f", "w")
+    run_gen(s, setup())
+    s.server.steal_client("c1")
+    assert "c1" in s.server.fenced_clients
+
+    def rejoin():
+        yield from c1.getattr("/f")
+    run_gen(s, rejoin())
+    assert "c1" not in s.server.fenced_clients
+    for disk in s.disks.values():
+        assert not disk.fence_table.is_fenced("c1")
+
+
+def test_fabric_scope_fencing():
+    from repro.server.node import ServerConfig
+    s = make_system(n_clients=1)
+    s.server.config.fence_scope = "fabric"
+    s.server.fence_client("c1")
+    assert not s.san.reachable("c1", next(iter(s.disks)))
+    s.server.unfence_client("c1")
+    assert s.san.reachable("c1", next(iter(s.disks)))
+
+
+def test_demand_loop_gives_up_on_released_lock():
+    """If the holder releases before the demand retries, the loop exits."""
+    s = make_system(n_clients=2)
+    c1, c2 = s.client("c1"), s.client("c2")
+    out = {}
+
+    def first():
+        yield from c1.create("/f", size=BLOCK_SIZE)
+        fd = yield from c1.open_file("/f", "w")
+        out["fid"] = c1.fds.get(fd).file_id
+
+    def second():
+        yield s.sim.timeout(1.0)
+        fd = yield from c2.open_file("/f", "w")
+        out["granted_at"] = s.sim.now
+    s.spawn(first())
+    s.spawn(second())
+    s.run(until=30.0)
+    assert out.get("granted_at") is not None
+    assert s.server.locks.mode_of("c2", out["fid"]) == LockMode.EXCLUSIVE
+    assert not s.server._active_demands  # loop cleaned up
+
+
+def test_keepalive_is_pure_ack():
+    s = make_system(n_clients=1)
+    c = s.client("c1")
+    before = s.server.metadata.ops
+
+    def app():
+        yield from c.endpoint.request("server", MsgKind.KEEPALIVE, {})
+    run_gen(s, app())
+    assert s.server.metadata.ops == before  # no metadata work
+    assert s.server.locks.grants == 0
+
+
+def test_lock_acquire_returns_attrs_for_revalidation():
+    s = make_system(n_clients=1)
+    c = s.client("c1")
+
+    def app():
+        yield from c.create("/f", size=BLOCK_SIZE)
+        reply = yield from c.endpoint.request(
+            "server", MsgKind.LOCK_ACQUIRE,
+            {"file_id": 1, "mode": int(LockMode.SHARED)})
+        return reply.payload
+    payload = run_gen(s, app())
+    assert "attrs" in payload and "extents" in payload
+    assert payload["mode"] == int(LockMode.SHARED)

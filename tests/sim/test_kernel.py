@@ -1,0 +1,101 @@
+"""Kernel event-loop behaviour."""
+
+import pytest
+
+from repro.sim import Event, SimulationError, Simulator, Timeout
+
+
+def test_now_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_now_custom_start():
+    assert Simulator(start_time=10.0).now == 10.0
+
+
+def test_timeout_advances_time(sim):
+    sim.timeout(5.0)
+    sim.run()
+    assert sim.now == 5.0
+
+
+def test_negative_timeout_rejected(sim):
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_run_until_stops_short(sim):
+    sim.timeout(10.0)
+    t = sim.run(until=3.0)
+    assert t == 3.0
+    assert sim.now == 3.0
+
+
+def test_run_until_beyond_schedule_advances_clock(sim):
+    sim.timeout(1.0)
+    sim.run(until=50.0)
+    assert sim.now == 50.0
+
+
+def test_same_time_events_fire_in_creation_order(sim):
+    order = []
+    for i in range(5):
+        ev = sim.event()
+        ev.callbacks.append(lambda e, i=i: order.append(i))
+        ev.succeed(delay=1.0)
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_step_on_empty_schedule_raises(sim):
+    with pytest.raises(SimulationError):
+        sim.step()
+
+
+def test_peek_returns_next_time(sim):
+    sim.timeout(7.0)
+    sim.timeout(3.0)
+    assert sim.peek() == 3.0
+
+
+def test_peek_empty_is_inf(sim):
+    assert sim.peek() == float("inf")
+
+
+def test_max_events_guard(sim):
+    def forever():
+        while True:
+            yield sim.timeout(0.1)
+    sim.process(forever())
+    with pytest.raises(SimulationError):
+        sim.run(max_events=50)
+
+
+def test_run_until_event(sim):
+    def worker():
+        yield sim.timeout(4.0)
+        return "done"
+    proc = sim.process(worker())
+    value = sim.run_until_event(proc)
+    assert value == "done"
+    assert sim.now == 4.0
+
+
+def test_run_until_event_hard_limit(sim):
+    def slow():
+        yield sim.timeout(100.0)
+    proc = sim.process(slow())
+    with pytest.raises(SimulationError):
+        sim.run_until_event(proc, hard_limit=10.0)
+
+
+def test_run_until_event_drained_schedule(sim):
+    ev = sim.event()  # never triggered
+    with pytest.raises(SimulationError):
+        sim.run_until_event(ev)
+
+
+def test_scheduling_into_past_rejected(sim):
+    ev = sim.event()
+    with pytest.raises(SimulationError):
+        ev.succeed(delay=-1.0)

@@ -1,0 +1,46 @@
+"""Seeded stream determinism and independence."""
+
+from repro.sim import RandomStreams
+
+
+def test_same_seed_same_stream():
+    a = RandomStreams(5).get("net").random(10)
+    b = RandomStreams(5).get("net").random(10)
+    assert (a == b).all()
+
+
+def test_different_seeds_differ():
+    a = RandomStreams(5).get("net").random(10)
+    b = RandomStreams(6).get("net").random(10)
+    assert not (a == b).all()
+
+
+def test_streams_by_name_are_independent():
+    rs = RandomStreams(5)
+    a = rs.get("alpha").random(10)
+    b = rs.get("beta").random(10)
+    assert not (a == b).all()
+
+
+def test_creation_order_does_not_matter():
+    rs1 = RandomStreams(5)
+    rs1.get("first")
+    a = rs1.get("second").random(5)
+
+    rs2 = RandomStreams(5)
+    b = rs2.get("second").random(5)  # created without "first"
+    assert (a == b).all()
+
+
+def test_get_returns_same_generator_instance():
+    rs = RandomStreams(5)
+    assert rs.get("x") is rs.get("x")
+
+
+def test_fork_is_deterministic_and_distinct():
+    base = RandomStreams(5)
+    f1 = base.fork(1).get("x").random(5)
+    f1_again = RandomStreams(5).fork(1).get("x").random(5)
+    f2 = base.fork(2).get("x").random(5)
+    assert (f1 == f1_again).all()
+    assert not (f1 == f2).all()

@@ -1,0 +1,77 @@
+"""Trace recorder storage, counting and filtering."""
+
+from repro.sim import TraceRecorder
+
+
+def test_emit_and_len(trace):
+    trace.emit(1.0, "a.b", "n1", x=1)
+    trace.emit(2.0, "a.c", "n2")
+    assert len(trace) == 2
+
+
+def test_counts_survive_disabled_storage():
+    t = TraceRecorder(enabled=False)
+    t.emit(1.0, "a.b", "n")
+    assert len(t) == 0
+    assert t.count("a.b") == 1
+
+
+def test_count_prefix(trace):
+    trace.emit(1.0, "msg.send", "n")
+    trace.emit(1.0, "msg.recv", "n")
+    trace.emit(1.0, "lease.renew", "n")
+    assert trace.count_prefix("msg") == 2
+
+
+def test_select_filters(trace):
+    trace.emit(1.0, "a.b", "n1")
+    trace.emit(2.0, "a.b", "n2")
+    trace.emit(3.0, "a.c", "n1")
+    assert len(trace.select(kind="a.b")) == 2
+    assert len(trace.select(node="n1")) == 2
+    assert len(trace.select(kind="a.b", node="n1")) == 1
+    assert len(trace.select(prefix="a")) == 3
+
+
+def test_keep_kinds_filters_storage_not_counts():
+    t = TraceRecorder(enabled=True, keep_kinds=["msg"])
+    t.emit(1.0, "msg.send", "n")
+    t.emit(1.0, "lease.renew", "n")
+    assert len(t) == 1
+    assert t.count("lease.renew") == 1
+
+
+def test_record_get_accessor(trace):
+    trace.emit(1.0, "a.b", "n", foo="bar")
+    rec = trace.records[0]
+    assert rec.get("foo") == "bar"
+    assert rec.get("missing", 7) == 7
+
+
+def test_subscriber_sees_records(trace):
+    got = []
+    trace.subscribe(got.append)
+    trace.emit(1.0, "a.b", "n")
+    assert len(got) == 1
+
+
+def test_clear(trace):
+    trace.emit(1.0, "a.b", "n")
+    trace.clear()
+    assert len(trace) == 0
+    assert trace.count("a.b") == 0
+
+
+def test_kinds_mapping(trace):
+    trace.emit(1.0, "a.b", "n")
+    trace.emit(1.0, "a.b", "n")
+    assert trace.kinds() == {"a.b": 2}
+
+
+def test_falsy_empty_recorder_still_usable():
+    """Regression: an empty recorder is falsy (len 0) but must never be
+    replaced by `or`-defaulting — components use `is not None` checks."""
+    t = TraceRecorder(enabled=True)
+    assert not t  # falsy when empty
+    t.emit(0.0, "x", "n")
+    assert len(t) == 1

@@ -1,0 +1,105 @@
+"""Extents, extent maps and byte/block arithmetic."""
+
+import pytest
+
+from repro.storage import BLOCK_SIZE, Extent, ExtentMap
+from repro.storage.blockmap import (
+    byte_range_to_blocks,
+    bytes_to_blocks,
+    extents_from_payload,
+    extents_to_payload,
+)
+
+
+def test_extent_validation():
+    with pytest.raises(ValueError):
+        Extent("d", 0, 0)
+    with pytest.raises(ValueError):
+        Extent("d", -1, 5)
+
+
+def test_extent_end_and_overlap():
+    a = Extent("d", 0, 10)
+    b = Extent("d", 9, 5)
+    c = Extent("d", 10, 5)
+    other_dev = Extent("e", 0, 100)
+    assert a.end_lba == 10
+    assert a.overlaps(b)
+    assert not a.overlaps(c)
+    assert not a.overlaps(other_dev)
+
+
+def test_resolve_single_extent():
+    em = ExtentMap([Extent("d", 100, 10)])
+    assert em.resolve(0) == ("d", 100)
+    assert em.resolve(9) == ("d", 109)
+
+
+def test_resolve_across_extents():
+    em = ExtentMap([Extent("d1", 0, 4), Extent("d2", 50, 4)])
+    assert em.resolve(3) == ("d1", 3)
+    assert em.resolve(4) == ("d2", 50)
+    assert em.resolve(7) == ("d2", 53)
+
+
+def test_resolve_out_of_range():
+    em = ExtentMap([Extent("d", 0, 4)])
+    with pytest.raises(IndexError):
+        em.resolve(4)
+    with pytest.raises(IndexError):
+        em.resolve(-1)
+
+
+def test_resolve_range_coalesces_contiguous():
+    em = ExtentMap([Extent("d", 0, 8)])
+    runs = em.resolve_range(2, 4)
+    assert runs == [("d", 2, 4)]
+
+
+def test_resolve_range_splits_at_extent_boundary():
+    em = ExtentMap([Extent("d1", 0, 4), Extent("d2", 50, 4)])
+    runs = em.resolve_range(2, 4)
+    assert runs == [("d1", 2, 2), ("d2", 50, 2)]
+
+
+def test_block_count_and_size():
+    em = ExtentMap([Extent("d", 0, 3), Extent("d", 10, 2)])
+    assert em.block_count == 5
+    assert em.size_bytes == 5 * BLOCK_SIZE
+
+
+def test_iter_physical_order():
+    em = ExtentMap([Extent("d", 5, 2), Extent("e", 0, 1)])
+    assert list(em.iter_physical()) == [("d", 5), ("d", 6), ("e", 0)]
+
+
+def test_payload_roundtrip():
+    em = ExtentMap([Extent("d", 5, 2), Extent("e", 0, 1)])
+    em2 = extents_from_payload(extents_to_payload(em))
+    assert [(e.device, e.start_lba, e.length) for e in em2.extents] == \
+        [("d", 5, 2), ("e", 0, 1)]
+
+
+def test_bytes_to_blocks_ceiling():
+    assert bytes_to_blocks(0) == 0
+    assert bytes_to_blocks(1) == 1
+    assert bytes_to_blocks(BLOCK_SIZE) == 1
+    assert bytes_to_blocks(BLOCK_SIZE + 1) == 2
+
+
+def test_bytes_to_blocks_negative():
+    with pytest.raises(ValueError):
+        bytes_to_blocks(-1)
+
+
+def test_byte_range_to_blocks():
+    assert byte_range_to_blocks(0, BLOCK_SIZE) == (0, 1)
+    assert byte_range_to_blocks(0, BLOCK_SIZE + 1) == (0, 2)
+    assert byte_range_to_blocks(BLOCK_SIZE - 1, 2) == (0, 2)
+    assert byte_range_to_blocks(BLOCK_SIZE, 10) == (1, 1)
+    assert byte_range_to_blocks(0, 0) == (0, 0)
+
+
+def test_byte_range_negative_rejected():
+    with pytest.raises(ValueError):
+        byte_range_to_blocks(-1, 5)

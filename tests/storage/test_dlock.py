@@ -1,0 +1,87 @@
+"""GFS-style dlock: range conflicts and device-enforced timeouts."""
+
+import pytest
+
+from repro.storage import DlockDeniedError, DlockTable
+
+
+@pytest.fixture
+def table():
+    return DlockTable("d0")
+
+
+def test_acquire_and_holder(table):
+    table.acquire("c1", 0, 10, ttl=5.0, device_now=0.0)
+    assert table.holder_of(5, device_now=1.0) == "c1"
+    assert table.holder_of(10, device_now=1.0) is None
+
+
+def test_conflicting_range_denied(table):
+    table.acquire("c1", 0, 10, ttl=5.0, device_now=0.0)
+    with pytest.raises(DlockDeniedError) as exc:
+        table.acquire("c2", 9, 3, ttl=5.0, device_now=1.0)
+    assert exc.value.holder == "c1"
+
+
+def test_disjoint_ranges_coexist(table):
+    table.acquire("c1", 0, 10, ttl=5.0, device_now=0.0)
+    table.acquire("c2", 10, 10, ttl=5.0, device_now=0.0)
+    assert table.holder_of(0, 1.0) == "c1"
+    assert table.holder_of(15, 1.0) == "c2"
+
+
+def test_ttl_expiry_frees_lock(table):
+    table.acquire("c1", 0, 10, ttl=5.0, device_now=0.0)
+    # Before expiry: denied.  After: free.
+    with pytest.raises(DlockDeniedError):
+        table.acquire("c2", 0, 10, ttl=5.0, device_now=4.9)
+    table.acquire("c2", 0, 10, ttl=5.0, device_now=5.0)
+    assert table.holder_of(0, 5.1) == "c2"
+    assert table.expirations == 1
+
+
+def test_reacquire_refreshes_ttl(table):
+    table.acquire("c1", 0, 10, ttl=5.0, device_now=0.0)
+    table.acquire("c1", 0, 10, ttl=5.0, device_now=4.0)  # refresh
+    with pytest.raises(DlockDeniedError):
+        table.acquire("c2", 0, 10, ttl=5.0, device_now=8.0)  # still held
+    table.acquire("c2", 0, 10, ttl=5.0, device_now=9.0)
+
+
+def test_release(table):
+    table.acquire("c1", 0, 10, ttl=5.0, device_now=0.0)
+    assert table.release("c1", 0, 10, device_now=1.0)
+    assert table.holder_of(0, 1.0) is None
+    assert not table.release("c1", 0, 10, device_now=1.0)
+
+
+def test_release_wrong_holder_noop(table):
+    table.acquire("c1", 0, 10, ttl=5.0, device_now=0.0)
+    assert not table.release("c2", 0, 10, device_now=1.0)
+    assert table.holder_of(0, 1.0) == "c1"
+
+
+def test_invalid_params(table):
+    with pytest.raises(ValueError):
+        table.acquire("c1", -1, 5, ttl=5.0, device_now=0.0)
+    with pytest.raises(ValueError):
+        table.acquire("c1", 0, 0, ttl=5.0, device_now=0.0)
+    with pytest.raises(ValueError):
+        table.acquire("c1", 0, 5, ttl=0.0, device_now=0.0)
+
+
+def test_counters(table):
+    table.acquire("c1", 0, 5, ttl=5.0, device_now=0.0)
+    try:
+        table.acquire("c2", 0, 5, ttl=5.0, device_now=1.0)
+    except DlockDeniedError:
+        pass
+    assert table.acquisitions == 1
+    assert table.denials == 1
+
+
+def test_live_locks_reaps(table):
+    table.acquire("c1", 0, 5, ttl=2.0, device_now=0.0)
+    table.acquire("c2", 10, 5, ttl=50.0, device_now=0.0)
+    live = table.live_locks(device_now=10.0)
+    assert [lk.holder for lk in live] == ["c2"]

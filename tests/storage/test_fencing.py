@@ -1,0 +1,51 @@
+"""Fence table semantics."""
+
+from repro.storage import FenceTable
+
+
+def test_fence_unfence_cycle():
+    ft = FenceTable()
+    ft.fence("c1", 1.0)
+    assert ft.is_fenced("c1")
+    ft.unfence("c1", 2.0)
+    assert not ft.is_fenced("c1")
+
+
+def test_fence_idempotent():
+    ft = FenceTable()
+    ft.fence("c1", 1.0)
+    ft.fence("c1", 2.0)
+    assert len(ft.history) == 1
+
+
+def test_unfence_unknown_is_noop():
+    ft = FenceTable()
+    ft.unfence("ghost", 1.0)
+    assert ft.history == []
+
+
+def test_history_order():
+    ft = FenceTable()
+    ft.fence("a", 1.0)
+    ft.fence("b", 2.0)
+    ft.unfence("a", 3.0)
+    assert ft.history == [(1.0, "fence", "a"), (2.0, "fence", "b"),
+                          (3.0, "unfence", "a")]
+
+
+def test_fenced_initiators_snapshot():
+    ft = FenceTable()
+    ft.fence("a")
+    ft.fence("b")
+    snap = ft.fenced_initiators
+    snap.add("c")  # mutating the snapshot must not affect the table
+    assert ft.fenced_initiators == {"a", "b"}
+
+
+def test_clear_lifts_everything():
+    ft = FenceTable()
+    ft.fence("a")
+    ft.fence("b")
+    ft.clear(5.0)
+    assert not ft.is_fenced("a") and not ft.is_fenced("b")
+    assert ft.history[-1][1] == "unfence"

@@ -1,0 +1,70 @@
+"""API hygiene meta-tests: every public item is documented, every module
+imports cleanly, and the public __all__ surfaces resolve."""
+
+import importlib
+import inspect
+import pathlib
+import pkgutil
+
+import pytest
+
+import repro
+
+SRC = pathlib.Path(repro.__file__).parent
+
+
+def _all_modules():
+    names = []
+    for info in pkgutil.walk_packages([str(SRC)], prefix="repro."):
+        if "__main__" in info.name:
+            continue
+        names.append(info.name)
+    return sorted(names)
+
+
+MODULES = _all_modules()
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_module_imports_and_has_docstring(name):
+    mod = importlib.import_module(name)
+    assert mod.__doc__ and mod.__doc__.strip(), f"{name} lacks a module docstring"
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_public_classes_and_functions_documented(name):
+    mod = importlib.import_module(name)
+    missing = []
+    for attr_name in dir(mod):
+        if attr_name.startswith("_"):
+            continue
+        obj = getattr(mod, attr_name)
+        if getattr(obj, "__module__", None) != name:
+            continue  # re-export; documented at home
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if not (obj.__doc__ and obj.__doc__.strip()):
+                missing.append(attr_name)
+            if inspect.isclass(obj):
+                for meth_name, meth in inspect.getmembers(obj, inspect.isfunction):
+                    if meth_name.startswith("_"):
+                        continue
+                    if meth.__qualname__.split(".")[0] != obj.__name__:
+                        continue  # inherited
+                    if not (meth.__doc__ and meth.__doc__.strip()):
+                        missing.append(f"{attr_name}.{meth_name}")
+    assert not missing, f"{name}: undocumented public items: {missing}"
+
+
+@pytest.mark.parametrize("name", [m for m in MODULES])
+def test_dunder_all_resolves(name):
+    mod = importlib.import_module(name)
+    exported = getattr(mod, "__all__", None)
+    if exported is None:
+        return
+    for item in exported:
+        assert hasattr(mod, item), f"{name}.__all__ lists missing {item!r}"
+
+
+def test_top_level_lazy_exports_resolve():
+    for item in repro.__all__:
+        assert getattr(repro, item) is not None

@@ -1,0 +1,51 @@
+"""Zipf sampler distribution properties."""
+
+import numpy as np
+import pytest
+
+from repro.sim import RandomStreams
+from repro.workloads import ZipfSampler
+
+
+def rng():
+    return RandomStreams(3).get("zipf")
+
+
+def test_uniform_when_s_zero():
+    z = ZipfSampler(10, 0.0, rng())
+    samples = z.sample_many(20000)
+    counts = np.bincount(samples, minlength=10)
+    assert counts.min() > 0.8 * 2000
+    assert counts.max() < 1.2 * 2000
+
+
+def test_skew_prefers_low_ranks():
+    z = ZipfSampler(10, 1.2, rng())
+    samples = z.sample_many(20000)
+    counts = np.bincount(samples, minlength=10)
+    assert counts[0] > counts[5] > counts[9]
+
+
+def test_samples_in_range():
+    z = ZipfSampler(7, 0.9, rng())
+    samples = z.sample_many(1000)
+    assert samples.min() >= 0
+    assert samples.max() < 7
+
+
+def test_single_item():
+    z = ZipfSampler(1, 1.0, rng())
+    assert z.sample() == 0
+
+
+def test_invalid_params():
+    with pytest.raises(ValueError):
+        ZipfSampler(0, 1.0, rng())
+    with pytest.raises(ValueError):
+        ZipfSampler(5, -1.0, rng())
+
+
+def test_deterministic_given_seed():
+    a = ZipfSampler(10, 0.8, RandomStreams(3).get("z")).sample_many(100)
+    b = ZipfSampler(10, 0.8, RandomStreams(3).get("z")).sample_many(100)
+    assert (a == b).all()
