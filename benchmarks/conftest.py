@@ -5,18 +5,46 @@ once per round, prints the regenerated table(s) and asserts the *shape*
 the paper predicts — who wins, what is zero, what fails.  Wall-clock
 timing comes from pytest-benchmark; absolute numbers are not compared
 to the paper (which reported none).
+
+Every ``run_experiment`` call additionally runs under a
+:class:`repro.obs.runlog.RunCollector`, so the session accumulates one
+``repro.obs/1.0`` run entry per system the experiments build.  At
+session end the merged document is written to ``BENCH_obs.json`` in the
+repository root.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, List
+import os
+from typing import Any, Callable, Dict, List
 
 from repro.analysis.report import Table
+from repro.obs import runlog
+from repro.obs.export import dumps_json, make_document, make_manifest
+
+#: Run entries accumulated across the whole benchmark session.
+_OBS_RUNS: List[Dict[str, Any]] = []
+#: Experiment function names, in execution order.
+_OBS_EXPERIMENTS: List[str] = []
 
 
 def run_experiment(benchmark, fn: Callable[..., Any], **kwargs) -> List[Table]:
-    """Execute the experiment under the benchmark timer and print output."""
-    result = benchmark.pedantic(lambda: fn(**kwargs), rounds=1, iterations=1)
+    """Execute the experiment under the benchmark timer and print output.
+
+    Wraps the run in a metrics collector; the collected run entries are
+    merged into ``BENCH_obs.json`` when the session finishes.
+    """
+    exp = getattr(fn, "__name__", "experiment")
+    collector = runlog.RunCollector(experiment=exp,
+                                    seed=kwargs.get("seed"))
+    with runlog.use(collector):
+        result = benchmark.pedantic(lambda: fn(**kwargs),
+                                    rounds=1, iterations=1)
+    for run in collector.document()["runs"]:
+        run["name"] = f"{exp}:{run['name']}"
+        run["labels"]["experiment"] = exp
+        _OBS_RUNS.append(run)
+    _OBS_EXPERIMENTS.append(exp)
     tables = result if isinstance(result, list) else [result]
     for t in tables:
         print()
@@ -28,3 +56,17 @@ def rows_by(table: Table, key_col: str):
     """Index a table's rows by one column's value."""
     idx = table.columns.index(key_col)
     return {row[idx]: dict(zip(table.columns, row)) for row in table.rows}
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    """Write the accumulated metrics document as ``BENCH_obs.json``."""
+    if not _OBS_RUNS:
+        return
+    manifest = make_manifest(
+        experiment=" ".join(dict.fromkeys(_OBS_EXPERIMENTS)),
+        protocols=sorted({r["labels"].get("protocol", "")
+                          for r in _OBS_RUNS} - {""}))
+    document = make_document(manifest, _OBS_RUNS)
+    out = os.path.join(str(session.config.rootpath), "BENCH_obs.json")
+    with open(out, "w") as fh:
+        fh.write(dumps_json(document))

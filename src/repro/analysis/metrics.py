@@ -53,33 +53,33 @@ def collect_overheads(system: StorageTankSystem) -> Dict[str, float]:
 
     ``lease_msgs_client`` counts client-initiated lease-maintenance
     messages (keep-alives, per-object renewals, heartbeats, attribute
-    polls) from the nodes' own send counters; ``lease_msgs_server``
-    counts authority-initiated lease traffic (NACKs);
-    ``lease_cpu_server`` the authority's lease computations;
-    ``state_bytes_now`` its current memory footprint.
+    polls); ``lease_msgs_server`` counts authority-initiated lease
+    traffic (NACKs); ``lease_cpu_server`` the authority's lease
+    computations; ``state_bytes_now`` its current memory footprint.
+    All figures come from ``overhead_snapshot()`` — the registry-backed
+    interface every authority and client agent exposes.
     """
-    client_msgs = 0
+    client_msgs = 0.0
     for client in system.clients.values():
-        client_msgs += getattr(client, "keepalives_sent", 0)
-        client_msgs += getattr(client, "polls_sent", 0)
+        client_msgs += client.overhead_snapshot().get("lease_msgs_sent", 0.0)
     for agent in system.agents.values():
-        client_msgs += getattr(agent, "heartbeats_sent", 0)
-        client_msgs += getattr(agent, "renewals_sent", 0)
-    auth = system.server.authority
+        client_msgs += agent.overhead_snapshot().get("lease_msgs_sent", 0.0)
+    auth_over = system.server.authority.overhead_snapshot()
     out: Dict[str, float] = {
         "lease_msgs_client": float(client_msgs),
-        "lease_msgs_server": float(auth.lease_msgs_sent),
-        "lease_cpu_server": float(auth.lease_cpu_ops),
-        "state_bytes_now": float(auth.state_bytes()),
+        "lease_msgs_server": float(auth_over["lease_msgs_sent"]),
+        "lease_cpu_server": float(auth_over["lease_cpu_ops"]),
+        "state_bytes_now": float(auth_over["state_bytes"]),
         "server_transactions": float(system.server.transactions),
         "ctrl_messages": float(system.control_net.delivered_count),
     }
     for name, client in system.clients.items():
-        ka = getattr(client, "keepalives_sent", 0)
-        out[f"{name}_keepalives"] = float(ka)
+        over = client.overhead_snapshot()
+        out[f"{name}_keepalives"] = float(over.get("keepalives_sent", 0.0))
     for name, agent in system.agents.items():
-        if hasattr(agent, "heartbeats_sent"):
-            out[f"{name}_heartbeats"] = float(agent.heartbeats_sent)
-        if hasattr(agent, "renewals_sent"):
-            out[f"{name}_renewals"] = float(agent.renewals_sent)
+        over = agent.overhead_snapshot()
+        if "heartbeats" in over:
+            out[f"{name}_heartbeats"] = float(over["heartbeats"])
+        if "renewals" in over:
+            out[f"{name}_renewals"] = float(over["renewals"])
     return out

@@ -33,6 +33,7 @@ from repro.metadata.inode import FileAttributes
 from repro.net.control import ControlNetwork, Endpoint, RetryPolicy
 from repro.net.message import DeliveryError, Message, MsgKind, NackError
 from repro.net.san import SanFabric, SanUnreachableError
+from repro.obs import Observability
 from repro.sim.clock import LocalClock
 from repro.sim.events import Event
 from repro.sim.kernel import Simulator
@@ -82,11 +83,13 @@ class StorageTankClient:
                  name: str, server, clock: LocalClock,
                  contract: LeaseContract,
                  config: Optional[ClientConfig] = None,
-                 trace: Optional[TraceRecorder] = None):
+                 trace: Optional[TraceRecorder] = None,
+                 obs: Optional[Observability] = None):
         """``server`` may be one name or a sequence of names: a client
         must hold a valid lease with *every* server it holds locks from
         (paper §3), so each server gets its own lease state machine."""
         self.sim = sim
+        self.obs = obs if obs is not None else Observability()
         self.san = san
         self.name = name
         if isinstance(server, str):
@@ -104,6 +107,7 @@ class StorageTankClient:
                              retries=self.config.rpc_retries)
         self.endpoint = Endpoint(sim, net, name, clock, trace=self.trace,
                                  default_policy=policy)
+        self.endpoint.obs = self.obs
         san.attach_initiator(name)
 
         self.cache = PageCache(self.config.cache_capacity_pages)
@@ -127,6 +131,9 @@ class StorageTankClient:
         self.app_errors = 0
         self.keepalives_sent = 0
         self.reasserts_sent = 0
+        self._m_lease_msgs = self.obs.registry.counter(
+            "lease.client.msgs_sent", "Client-originated lease messages",
+            labels=("node",)).labels(node=name)
 
         # §6 server recovery: every server ACK carries an epoch; a change
         # means that server restarted and lost its lock table — reassert.
@@ -152,7 +159,7 @@ class StorageTankClient:
                         on_resume_service=self._unquiesce,
                         on_reconnected=self._unquiesce,
                     ),
-                    trace=self.trace)
+                    trace=self.trace, obs=self.obs)
             self.endpoint.ack_listeners.append(self._on_ack_renew)
             self.endpoint.nack_listeners.append(self._on_nack)
 
@@ -477,6 +484,17 @@ class StorageTankClient:
         lease = self.lease
         return lease.active if lease else True
 
+    def overhead_snapshot(self) -> Dict[str, float]:
+        """Client-side counters for E7/E9 (``ClientAgent`` conformance)."""
+        return {
+            "ops_completed": float(self.ops_completed),
+            "ops_rejected": float(self.ops_rejected),
+            "app_errors": float(self.app_errors),
+            "keepalives_sent": float(self.keepalives_sent),
+            "lease_msgs_sent": float(self.keepalives_sent),
+            "cache_hit_rate": float(self.cache.stats.hit_rate),
+        }
+
     # -- routing ---------------------------------------------------------
     def server_for_path(self, path: str) -> str:
         """The metadata server owning a path (stable hash routing)."""
@@ -708,6 +726,7 @@ class StorageTankClient:
         def spawn() -> None:
             def send() -> Generator[Event, Any, None]:
                 self.keepalives_sent += 1
+                self._m_lease_msgs.inc()
                 self.trace.emit(self.sim.now, "lease.keepalive", self.name,
                                 server=server)
                 try:

@@ -51,6 +51,31 @@ class NetworkConfig:
 
 
 @dataclass(frozen=True)
+class ObservabilityConfig:
+    """Knobs for the :mod:`repro.obs` layer of one installation.
+
+    ``spans=False`` (the default) keeps span tracing — and the helper
+    processes some span sites spawn — completely off, so default runs
+    execute the exact event sequence they always did.  A run collector
+    (:mod:`repro.obs.runlog`) forces spans on for the systems it
+    observes regardless of this flag.
+    """
+
+    #: Record begin/end spans (lease phases, RPC round-trips, recovery).
+    spans: bool = False
+    #: Histogram bucket upper bounds; () uses the registry default.
+    histogram_buckets: Tuple[float, ...] = ()
+    #: Cardinality guard: max distinct label sets per metric family.
+    max_label_sets: int = 1024
+    #: Simulated seconds between overhead-series samples (run collector).
+    sample_interval: float = 1.0
+    #: Trace kinds kept by the TraceRecorder; () keeps everything.
+    trace_keep_kinds: Tuple[str, ...] = ()
+    #: Default path for ``StorageTankSystem.export_obs`` (None = explicit).
+    export_path: str = ""
+
+
+@dataclass(frozen=True)
 class WorkloadConfig:
     """Synthetic workload shape (consumed by :mod:`repro.workloads`)."""
 
@@ -85,6 +110,8 @@ class SystemConfig:
     lease: LeaseConfig = field(default_factory=LeaseConfig)
     network: NetworkConfig = field(default_factory=NetworkConfig)
     workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    observability: ObservabilityConfig = field(
+        default_factory=ObservabilityConfig)
     # Baseline knobs
     frangipani_heartbeat: float = 10.0
     vlease_object_duration: float = 10.0

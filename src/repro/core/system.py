@@ -1,9 +1,18 @@
-"""System assembly: one server, N clients, two networks, shared disks."""
+"""System assembly: one server, N clients, two networks, shared disks.
+
+Protocol variation is data-driven: ``build_system`` looks the configured
+protocol name up in the registry (:mod:`repro.protocols.registry`) and
+assembles purely from the returned spec — authority factory, client
+kind, lease usage, fencing policy, client agent.  A shared
+:class:`~repro.obs.Observability` bundle threads through every node so
+all overhead counters land in one metrics registry.
+"""
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Any, Dict, Generator, List, Optional, Union
+from typing import Any, Dict, Optional
 
 from repro.client.node import ClientConfig, StorageTankClient
 from repro.core.config import SystemConfig
@@ -11,12 +20,12 @@ from repro.lease.server_lease import ServerLeaseAuthority
 from repro.net.control import ControlNetwork
 from repro.net.partition import PartitionController, combined_views, is_symmetric
 from repro.net.san import SanFabric
-from repro.protocols.base import NoStealAuthority
-from repro.protocols.fencing_only import FencingOnlyAuthority
-from repro.protocols.frangipani import FrangipaniAuthority, FrangipaniClientAgent
+from repro.obs import Observability
+from repro.obs import runlog as _runlog
+from repro.obs.export import export_json, make_document, make_manifest, run_entry
+from repro.protocols.base import ClientAgent
 from repro.protocols.nfs_polling import NfsPollingClient
-from repro.protocols.steal import ImmediateStealAuthority
-from repro.protocols.vleases import VLeaseAuthority, VLeaseClientAgent
+from repro.protocols.registry import get as get_protocol
 from repro.server.node import ServerConfig, StorageTankServer
 from repro.sim.clock import ClockEnsemble
 from repro.sim.kernel import Simulator
@@ -24,7 +33,17 @@ from repro.sim.rng import RandomStreams
 from repro.sim.trace import TraceRecorder
 from repro.storage.disk import VirtualDisk
 
-AnyClient = Union[StorageTankClient, NfsPollingClient]
+
+def __getattr__(name):
+    """Serve the deprecated ``AnyClient`` union alias lazily."""
+    if name == "AnyClient":
+        warnings.warn(
+            "core.system.AnyClient is deprecated; annotate with the "
+            "repro.protocols.base.ClientAgent protocol instead",
+            DeprecationWarning, stacklevel=2)
+        from typing import Union
+        return Union[StorageTankClient, NfsPollingClient]
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass
@@ -40,9 +59,10 @@ class StorageTankSystem:
     san: SanFabric
     disks: Dict[str, VirtualDisk]
     server: StorageTankServer
-    clients: Dict[str, AnyClient]
-    agents: Dict[str, Any] = field(default_factory=dict)
+    clients: Dict[str, ClientAgent]
+    agents: Dict[str, ClientAgent] = field(default_factory=dict)
     servers: Dict[str, StorageTankServer] = field(default_factory=dict)
+    obs: Observability = field(default_factory=Observability)
 
     # -- convenience ------------------------------------------------------
     @property
@@ -55,7 +75,7 @@ class StorageTankSystem:
         """Partition controller for the SAN."""
         return PartitionController(self.san)
 
-    def client(self, name: str) -> AnyClient:
+    def client(self, name: str) -> ClientAgent:
         """Look up a client node."""
         return self.clients[name]
 
@@ -102,6 +122,7 @@ class StorageTankSystem:
     def metrics_snapshot(self) -> Dict[str, Any]:
         """One dict of every counter the experiments report."""
         auth = self.server.authority
+        auth_over = auth.overhead_snapshot()
         snap: Dict[str, Any] = {
             "time": self.sim.now,
             "server.transactions": self.server.transactions,
@@ -109,9 +130,9 @@ class StorageTankSystem:
             "server.meta_ops": self.server.metadata.ops,
             "server.lock_grants": self.server.locks.grants,
             "server.lock_steals": self.server.locks.steals,
-            "authority.state_bytes": auth.state_bytes(),
-            "authority.cpu_ops": auth.lease_cpu_ops,
-            "authority.msgs_sent": auth.lease_msgs_sent,
+            "authority.state_bytes": int(auth_over["state_bytes"]),
+            "authority.cpu_ops": int(auth_over["lease_cpu_ops"]),
+            "authority.msgs_sent": int(auth_over["lease_msgs_sent"]),
             "ctrl.delivered": self.control_net.delivered_count,
             "ctrl.dropped": self.control_net.dropped_count,
             "san.bytes_read": self.san.bytes_read,
@@ -127,29 +148,58 @@ class StorageTankSystem:
                 snap[f"{sname}.lock_grants"] = srv.locks.grants
                 snap[f"{sname}.state_bytes"] = srv.authority.state_bytes()
         for name, cl in self.clients.items():
-            snap[f"{name}.ops_completed"] = cl.ops_completed
-            snap[f"{name}.app_errors"] = cl.app_errors
-            if isinstance(cl, StorageTankClient):
-                snap[f"{name}.ops_rejected"] = cl.ops_rejected
-                snap[f"{name}.keepalives"] = cl.keepalives_sent
-                snap[f"{name}.cache_hit_rate"] = cl.cache.stats.hit_rate
+            over = cl.overhead_snapshot()
+            snap[f"{name}.ops_completed"] = int(over["ops_completed"])
+            snap[f"{name}.app_errors"] = int(over["app_errors"])
+            if "polls_sent" in over:
+                snap[f"{name}.polls"] = int(over["polls_sent"])
             else:
-                snap[f"{name}.polls"] = cl.polls_sent
+                snap[f"{name}.ops_rejected"] = int(over["ops_rejected"])
+                snap[f"{name}.keepalives"] = int(over["keepalives_sent"])
+                snap[f"{name}.cache_hit_rate"] = over["cache_hit_rate"]
         for name, agent in self.agents.items():
-            if isinstance(agent, FrangipaniClientAgent):
-                snap[f"{name}.heartbeats"] = agent.heartbeats_sent
-            elif isinstance(agent, VLeaseClientAgent):
-                snap[f"{name}.vlease_renewals"] = agent.renewals_sent
-                snap[f"{name}.vlease_purges"] = agent.purges
+            over = agent.overhead_snapshot()
+            if "heartbeats" in over:
+                snap[f"{name}.heartbeats"] = int(over["heartbeats"])
+            if "renewals" in over:
+                snap[f"{name}.vlease_renewals"] = int(over["renewals"])
+                snap[f"{name}.vlease_purges"] = int(over["purges"])
         return snap
+
+    def export_obs(self, path: Optional[str] = None) -> Dict[str, Any]:
+        """Export this system's registry/spans as a ``repro.obs`` document.
+
+        Writes JSON to ``path`` (default: the configured
+        ``observability.export_path``) when one is given, and returns the
+        document either way.
+        """
+        manifest = make_manifest(experiment="", seed=self.config.seed,
+                                 protocols=[self.config.protocol])
+        run = run_entry(self.config.protocol,
+                        labels={"protocol": self.config.protocol,
+                                "n_clients": str(self.config.n_clients),
+                                "seed": str(self.config.seed)},
+                        metrics=self.obs.registry.snapshot(),
+                        spans=self.obs.tracer.to_dicts())
+        document = make_document(manifest, [run])
+        target = path or self.config.observability.export_path
+        if target:
+            export_json(document, target)
+        return document
 
 
 def build_system(config: Optional[SystemConfig] = None) -> StorageTankSystem:
     """Assemble a full installation for the configured protocol."""
     cfg = config or SystemConfig()
+    spec = get_protocol(cfg.protocol)
+    collector = _runlog.active()
     sim = Simulator()
     streams = RandomStreams(cfg.seed)
-    trace = TraceRecorder(enabled=cfg.record_trace)
+    trace = TraceRecorder(enabled=cfg.record_trace,
+                          keep_kinds=(set(cfg.observability.trace_keep_kinds)
+                                      or None))
+    obs = Observability.from_config(cfg.observability, trace=trace,
+                                    force_spans=collector is not None)
     clocks = ClockEnsemble(cfg.lease.epsilon, streams)
     contract = cfg.lease.contract()
 
@@ -157,20 +207,24 @@ def build_system(config: Optional[SystemConfig] = None) -> StorageTankSystem:
                          base_delay=cfg.network.ctrl_base_delay,
                          jitter=cfg.network.ctrl_jitter,
                          drop_probability=cfg.network.ctrl_drop_probability)
+    net.bind_obs(obs)
     san = SanFabric(sim, streams, trace,
                     base_latency=cfg.network.san_base_latency,
                     per_block_latency=cfg.network.san_per_block_latency,
                     per_device_queueing=cfg.network.san_per_device_queueing)
+    san.bind_obs(obs)
     disks = {}
     for dname in cfg.disk_names():
         disk = VirtualDisk(dname, n_blocks=cfg.disk_blocks)
         san.attach_device(disk)
         disks[dname] = disk
 
+    fence = (spec.fence_on_steal if spec.fence_on_steal is not None
+             else cfg.fence_on_steal)
     # Recovery grace must outlast an idle client's next forced contact
     # (the phase-2 keep-alive at 0.5 tau), so every live client's lock
     # reassertion lands inside the window.
-    server_cfg = ServerConfig(fence_on_steal=_fence_setting(cfg),
+    server_cfg = ServerConfig(fence_on_steal=fence,
                               recovery_grace=0.6 * cfg.lease.tau)
     server_names = cfg.server_names()
     servers: Dict[str, StorageTankServer] = {}
@@ -178,13 +232,14 @@ def build_system(config: Optional[SystemConfig] = None) -> StorageTankSystem:
         servers[sname] = StorageTankServer(
             sim, net, san, sname, clocks.create(sname), contract,
             config=server_cfg, trace=trace,
-            authority_factory=_authority_factory(cfg),
+            authority_factory=lambda srv: spec.authority(cfg, srv),
             id_base=i * 1_000_000_000,
-            alloc_share=(i, len(server_names)))
+            alloc_share=(i, len(server_names)),
+            obs=obs)
     server = servers[server_names[0]]
 
-    clients: Dict[str, AnyClient] = {}
-    agents: Dict[str, Any] = {}
+    clients: Dict[str, ClientAgent] = {}
+    agents: Dict[str, ClientAgent] = {}
     client_cfg_base = dict(writeback_interval=cfg.writeback_interval,
                            rpc_timeout=cfg.rpc_timeout,
                            rpc_retries=cfg.rpc_retries,
@@ -193,71 +248,24 @@ def build_system(config: Optional[SystemConfig] = None) -> StorageTankSystem:
                            attr_cache_ttl=cfg.attr_cache_ttl)
     for cname in cfg.client_names():
         clock = clocks.create(cname, violates_bound=cname in cfg.slow_clients)
-        if cfg.protocol == "nfs":
+        if spec.client_kind == "nfs":
             clients[cname] = NfsPollingClient(sim, net, san, cname,
                                               server_names[0], clock,
                                               attr_ttl=cfg.nfs_attr_ttl,
-                                              trace=trace)
+                                              trace=trace, obs=obs)
             continue
-        ccfg = ClientConfig(use_leases=(cfg.protocol == "storage_tank"),
-                            **client_cfg_base)
+        ccfg = ClientConfig(use_leases=spec.uses_leases, **client_cfg_base)
         client = StorageTankClient(sim, net, san, cname, server_names, clock,
-                                   contract, config=ccfg, trace=trace)
+                                   contract, config=ccfg, trace=trace, obs=obs)
         clients[cname] = client
-        if cfg.protocol == "frangipani":
-            agents[cname] = FrangipaniClientAgent(
-                client, lease_duration=cfg.lease.tau,
-                heartbeat_interval=cfg.frangipani_heartbeat)
-        elif cfg.protocol == "vleases":
-            agents[cname] = VLeaseClientAgent(
-                client, object_lease_duration=cfg.vlease_object_duration)
+        if spec.agent is not None:
+            agents[cname] = spec.agent(cfg, client)
 
-    return StorageTankSystem(config=cfg, sim=sim, streams=streams, trace=trace,
-                             clocks=clocks, control_net=net, san=san,
-                             disks=disks, server=server, clients=clients,
-                             agents=agents, servers=servers)
-
-
-def _fence_setting(cfg: SystemConfig) -> bool:
-    if cfg.protocol == "fencing_only":
-        return True
-    if cfg.protocol in ("naive_steal", "no_protocol", "nfs"):
-        return False
-    return cfg.fence_on_steal
-
-
-def _authority_factory(cfg: SystemConfig):
-    proto = cfg.protocol
-
-    def factory(server: StorageTankServer):
-        if proto == "storage_tank":
-            return ServerLeaseAuthority(server.sim, server.endpoint,
-                                        server.contract,
-                                        on_steal=server.steal_client,
-                                        trace=server.trace)
-        if proto == "no_protocol" or proto == "nfs":
-            return NoStealAuthority(server.sim, server.endpoint,
-                                    on_steal=server.steal_client,
-                                    trace=server.trace)
-        if proto == "naive_steal":
-            return ImmediateStealAuthority(server.sim, server.endpoint,
-                                           on_steal=server.steal_client,
-                                           trace=server.trace)
-        if proto == "fencing_only":
-            return FencingOnlyAuthority(server.sim, server.endpoint,
-                                        on_steal=server.steal_client,
-                                        trace=server.trace)
-        if proto == "frangipani":
-            return FrangipaniAuthority(server.sim, server.endpoint,
-                                       on_steal=server.steal_client,
-                                       trace=server.trace,
-                                       lease_duration=cfg.lease.tau,
-                                       check_interval=1.0)
-        if proto == "vleases":
-            return VLeaseAuthority(server.sim, server.endpoint,
-                                   on_steal=server.steal_client,
-                                   trace=server.trace, server=server,
-                                   object_lease_duration=cfg.vlease_object_duration)
-        raise ValueError(f"unknown protocol {proto!r}")
-
-    return factory
+    system = StorageTankSystem(config=cfg, sim=sim, streams=streams,
+                               trace=trace, clocks=clocks, control_net=net,
+                               san=san, disks=disks, server=server,
+                               clients=clients, agents=agents,
+                               servers=servers, obs=obs)
+    if collector is not None:
+        collector.on_system_built(system)
+    return system

@@ -6,17 +6,21 @@ Usage::
     python -m repro.harness e4 e7        # several
     python -m repro.harness all          # everything (minutes)
     python -m repro.harness all --seed 7
+    python -m repro.harness e7 --metrics-out bench.json
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 import time
+from typing import Any
 
 from repro.analysis.report import Table
 from repro.harness.ablations import ABLATIONS
 from repro.harness.experiments import EXPERIMENTS as _EXPERIMENTS
+from repro.obs import runlog
 
 EXPERIMENTS = dict(_EXPERIMENTS)
 EXPERIMENTS.update(ABLATIONS)
@@ -32,6 +36,10 @@ def main(argv=None) -> int:
                         help="root random seed (default 0)")
     parser.add_argument("--markdown", metavar="FILE", default=None,
                         help="also write the tables to FILE as markdown")
+    parser.add_argument("--metrics-out", metavar="FILE", default=None,
+                        help="write a repro.obs/1.0 metrics document "
+                             "(registry snapshots, overhead series, spans) "
+                             "covering every system the experiments build")
     args = parser.parse_args(argv)
 
     names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
@@ -39,16 +47,27 @@ def main(argv=None) -> int:
     if unknown:
         parser.error(f"unknown experiments: {unknown}")
 
+    collector = None
+    scope: Any = contextlib.nullcontext()
+    if args.metrics_out:
+        collector = runlog.RunCollector(experiment=" ".join(names),
+                                        seed=args.seed)
+        scope = runlog.use(collector)
+
     md_chunks = []
-    for name in names:
-        started = time.time()
-        result = EXPERIMENTS[name](seed=args.seed)
-        tables = result if isinstance(result, list) else [result]
-        for t in tables:
-            print()
-            print(t)
-            md_chunks.append(table_to_markdown(t))
-        print(f"\n[{name} completed in {time.time() - started:.1f}s wall]")
+    with scope:
+        for name in names:
+            started = time.time()
+            result = EXPERIMENTS[name](seed=args.seed)
+            tables = result if isinstance(result, list) else [result]
+            for t in tables:
+                print()
+                print(t)
+                md_chunks.append(table_to_markdown(t))
+            print(f"\n[{name} completed in {time.time() - started:.1f}s wall]")
+    if collector is not None:
+        collector.export(args.metrics_out)
+        print(f"\n[metrics written to {args.metrics_out}]")
     if args.markdown:
         with open(args.markdown, "w") as fh:
             fh.write(f"# Experiment tables (seed {args.seed})\n\n")

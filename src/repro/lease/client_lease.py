@@ -49,13 +49,16 @@ class ClientLeaseManager:
                  contract: LeaseContract,
                  callbacks: Optional[LeaseCallbacks] = None,
                  trace: Optional[TraceRecorder] = None,
-                 probe_interval_local: Optional[float] = None):
+                 probe_interval_local: Optional[float] = None,
+                 obs=None):
         self.sim = sim
         self.endpoint = endpoint
         self.server = server
         self.contract = contract
         self.callbacks = callbacks or LeaseCallbacks()
         self.trace = trace if trace is not None else endpoint.trace
+        self.obs = obs
+        self._phase_span = None
         self.probe_interval_local = (probe_interval_local
                                      if probe_interval_local is not None
                                      else contract.keepalive_interval_local())
@@ -169,6 +172,12 @@ class ClientLeaseManager:
             self.phase_time[self._last_phase] += now - self._last_phase_since
         self._last_phase = phase
         self._last_phase_since = now
+        if self.obs is not None and self.obs.spans_enabled:
+            if self._phase_span is not None:
+                self._phase_span.end(now)
+            self._phase_span = self.obs.begin_span(
+                now, f"lease.phase.{phase.name.lower()}", self.endpoint.name,
+                server=self.server)
 
     def finalize_accounting(self) -> None:
         """Close the open phase interval (call before reading phase_time)."""

@@ -13,6 +13,12 @@ server refuses to ACK the client (a correctness requirement of Theorem
 3.1) and instead NACKs valid requests (§3.3, Fig. 5).  When the timer
 fires, the client's lease has provably expired and its locks may be
 stolen; the entry is then dropped and the authority is stateless again.
+
+Overhead accounting flows through the metrics registry
+(``lease.server.cpu_ops`` / ``lease.server.msgs_sent`` /
+``lease.server.state_bytes``) via the :class:`SafetyAuthority` base;
+when spans are enabled each suspect window becomes a
+``lease.steal_resolution`` span from mark-suspect to steal completion.
 """
 
 from __future__ import annotations
@@ -22,7 +28,9 @@ from typing import Callable, Dict, Generator, List, Optional
 
 from repro.lease.contract import LeaseContract
 from repro.net.control import Endpoint
-from repro.net.message import Message, MsgKind
+from repro.net.message import Message
+from repro.obs import Observability
+from repro.protocols.base import SafetyAuthority
 from repro.sim.events import Event
 from repro.sim.kernel import Simulator
 from repro.sim.trace import TraceRecorder
@@ -40,7 +48,7 @@ class SuspectEntry:
     resolved: Event  # succeeds when the steal has completed
 
 
-class ServerLeaseAuthority:
+class ServerLeaseAuthority(SafetyAuthority):
     """Lease logic attached to one server endpoint."""
 
     def __init__(self, sim: Simulator, endpoint: Endpoint,
@@ -48,7 +56,8 @@ class ServerLeaseAuthority:
                  on_steal: Callable[[str], None],
                  trace: Optional[TraceRecorder] = None,
                  nack_suspects: bool = True,
-                 ack_while_expiring: bool = False):
+                 ack_while_expiring: bool = False,
+                 obs: Optional[Observability] = None):
         """``on_steal(client)`` runs when a suspect timer fires; the server
         node uses it to steal locks and construct fences.
 
@@ -57,22 +66,13 @@ class ServerLeaseAuthority:
         no-ACK correctness rule entirely (the E4 ablation, which *breaks*
         Theorem 3.1 — never enable outside experiments).
         """
-        self.sim = sim
-        self.endpoint = endpoint
         self.contract = contract
-        self.on_steal = on_steal
-        self.trace = trace if trace is not None else endpoint.trace
         self.nack_suspects = nack_suspects
         self.ack_while_expiring = ack_while_expiring
-
         self._suspects: Dict[str, SuspectEntry] = {}
-        self.lease_cpu_ops = 0       # lease-specific computations performed
-        self.lease_msgs_sent = 0     # lease-specific messages (NACKs) sent
-        self.total_steals = 0
+        self._steal_spans: Dict[str, object] = {}
         self.peak_state_bytes = 0
-
-        endpoint.set_gatekeeper(self.gatekeeper)
-        endpoint.delivery_failure_listeners.append(self._on_delivery_failure)
+        super().__init__(sim, endpoint, on_steal, trace=trace, obs=obs)
 
     # -- the zero-overhead counters (experiment E7) ----------------------
     def state_bytes(self) -> int:
@@ -102,9 +102,9 @@ class ServerLeaseAuthority:
             return None
         # §3.3: the server can neither ACK (would renew a lease it is
         # expiring) nor execute the transaction.
-        self.lease_cpu_ops += 1
+        self._count_cpu()
         if self.nack_suspects:
-            self.lease_msgs_sent += 1
+            self._count_lease_msg()
             self.trace.emit(self.sim.now, "lease.server_nack", self.endpoint.name,
                             client=msg.src, msg_kind=msg.kind)
             return "nack"
@@ -119,7 +119,7 @@ class ServerLeaseAuthority:
         entry = self._suspects.get(client)
         if entry is not None:
             return entry
-        self.lease_cpu_ops += 1
+        self._count_cpu()
         entry = SuspectEntry(client=client,
                              started_local=self.endpoint.local_now(),
                              resolved=self.sim.event())
@@ -127,6 +127,10 @@ class ServerLeaseAuthority:
         self.peak_state_bytes = max(self.peak_state_bytes, self.state_bytes())
         self.trace.emit(self.sim.now, "lease.suspect", self.endpoint.name,
                         client=client, wait_local=self.contract.server_wait_local())
+        span = self.obs.begin_span(self.sim.now, "lease.steal_resolution",
+                                   self.endpoint.name, client=client)
+        if span is not None:
+            self._steal_spans[client] = span
         self.sim.process(self._timer(entry),
                          name=f"{self.endpoint.name}:lease-timer:{client}")
         return entry
@@ -138,8 +142,9 @@ class ServerLeaseAuthority:
 
     def _timer(self, entry: SuspectEntry) -> Generator[Event, None, None]:
         yield self.endpoint.local_timeout(self.contract.server_wait_local())
-        self.lease_cpu_ops += 1
+        self._count_cpu()
         self.total_steals += 1
+        self._m_steals.inc()
         self.trace.emit(self.sim.now, "lease.steal", self.endpoint.name,
                         client=entry.client)
         try:
@@ -147,3 +152,6 @@ class ServerLeaseAuthority:
         finally:
             self._suspects.pop(entry.client, None)
             entry.resolved.succeed(entry.client)
+            span = self._steal_spans.pop(entry.client, None)
+            if span is not None:
+                span.end(self.sim.now)

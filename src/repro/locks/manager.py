@@ -48,6 +48,19 @@ class LockManager:
         self.grant_listeners: List[Callable[[str, int, LockMode], None]] = []
         self.release_listeners: List[Callable[[str, int], None]] = []
 
+    def bind_obs(self, obs, node: str) -> None:
+        """Mirror grant/steal counts into a metrics registry as callback
+        gauges labelled with the owning server's node name."""
+        reg = obs.registry
+        reg.gauge("locks.grants", "Lock grants issued", labels=("node",),
+                  ).labels(node=node).set_function(lambda: self.grants)
+        reg.gauge("locks.steals", "Lock steals executed", labels=("node",),
+                  ).labels(node=node).set_function(lambda: self.steals)
+        reg.gauge("locks.held_objects", "Objects with at least one holder",
+                  labels=("node",),
+                  ).labels(node=node).set_function(
+                      lambda: sum(1 for h in self._holders.values() if h))
+
     # -- queries ------------------------------------------------------------
     def holders(self, obj: int) -> Dict[str, LockMode]:
         """Current holders of an object."""

@@ -76,6 +76,20 @@ class ControlNetwork:
         self.dropped_count = 0
         self.bytes_delivered = 0
 
+    def bind_obs(self, obs) -> None:
+        """Mirror the fabric counters into a metrics registry.
+
+        Uses callback gauges so the registry samples the live counters
+        at read time — no double bookkeeping on the delivery hot path.
+        """
+        reg = obs.registry
+        reg.gauge("net.ctrl.delivered", "Datagrams delivered",
+                  ).labels().set_function(lambda: self.delivered_count)
+        reg.gauge("net.ctrl.dropped", "Datagrams dropped or blocked",
+                  ).labels().set_function(lambda: self.dropped_count)
+        reg.gauge("net.ctrl.bytes_delivered", "Payload bytes delivered",
+                  ).labels().set_function(lambda: self.bytes_delivered)
+
     # -- membership ---------------------------------------------------------
     def attach(self, endpoint: "Endpoint") -> None:
         """Register an endpoint under its node name."""
@@ -197,6 +211,9 @@ class Endpoint:
         self.trace = trace if trace is not None else net.trace
         self.default_policy = default_policy or RetryPolicy()
         self.alive = True
+        # Observability bundle (set by node constructors / build_system);
+        # None means no metrics/span recording on this endpoint.
+        self.obs = None
 
         self._handlers: Dict[str, Handler] = {}
         self._gatekeeper: Optional[Callable[[Message], Optional[str]]] = None
@@ -306,6 +323,10 @@ class Endpoint:
             return attempt_times.get(reply.reply_to or -1,
                                      msg.sent_local_time)
 
+        obs = self.obs
+        t0 = self.sim.now
+        span = (obs.begin_span(t0, "net.rpc", self.name, msg_kind=kind, dst=dst)
+                if obs is not None else None)
         try:
             first = True
             for _attempt in range(pol.attempts):
@@ -325,14 +346,33 @@ class Endpoint:
                         final = yield from self._await_result(
                             msg, int(reply.payload["__ticket__"]), pol,
                             attempt_times, attempt_ids)
+                        self._rpc_done(span, kind, t0, "ack")
                         return final
+                    self._rpc_done(span, kind, t0, "ack")
                     return reply
             for fn in self.delivery_failure_listeners:
                 fn(dst, msg)
             raise DeliveryError(msg, pol.attempts)
+        except NackError:
+            self._rpc_done(span, kind, t0, "nack")
+            raise
+        except DeliveryError:
+            self._rpc_done(span, kind, t0, "delivery_error")
+            raise
         finally:
             for mid in attempt_ids:
                 self._pending.pop(mid, None)
+
+    def _rpc_done(self, span, kind: str, t0: float, status: str) -> None:
+        """Close a round-trip span and record its latency histogram."""
+        if self.obs is None:
+            return
+        if span is not None:
+            span.end(self.sim.now, status=status)
+        self.obs.registry.histogram(
+            "net.rpc.latency_s", "Request round-trip time (simulated s)",
+            labels=("kind", "status"),
+        ).labels(kind=kind, status=status).observe(self.sim.now - t0)
 
     def _await_result(self, msg: Message, ticket: int, pol: RetryPolicy,
                       attempt_times: Dict[int, float],

@@ -63,6 +63,22 @@ class SanFabric:
         self.bytes_written = 0
         self.io_count = 0
 
+    def bind_obs(self, obs) -> None:
+        """Mirror the fabric counters into a metrics registry.
+
+        Callback gauges sample the live counters at read time, keeping
+        the block-I/O hot path free of extra bookkeeping.
+        """
+        reg = obs.registry
+        reg.gauge("san.bytes_read", "Bytes read over the SAN",
+                  ).labels().set_function(lambda: self.bytes_read)
+        reg.gauge("san.bytes_written", "Bytes written over the SAN",
+                  ).labels().set_function(lambda: self.bytes_written)
+        reg.gauge("san.io_count", "SAN I/O commands issued",
+                  ).labels().set_function(lambda: self.io_count)
+        reg.gauge("san.queue_wait_s", "Total device queueing wait",
+                  ).labels().set_function(lambda: self.queue_wait_total)
+
     # -- membership ---------------------------------------------------------
     def attach_device(self, disk: VirtualDisk) -> None:
         """Register a storage device on the fabric."""

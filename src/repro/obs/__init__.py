@@ -1,0 +1,87 @@
+"""Unified observability layer: metrics registry, spans, exporters.
+
+``repro.obs`` is the single substrate through which every protocol
+reports the paper's E7/E9 overhead counters (server lease state bytes,
+lease CPU ops, lease messages) and through which experiments export
+machine-readable run documents (``BENCH_obs.json``).
+
+The pieces:
+
+- :mod:`repro.obs.registry` — Prometheus-flavoured counters, gauges and
+  histograms with labels and a cardinality guard.
+- :mod:`repro.obs.spans` — span tracing over simulated time, layered on
+  ``sim.trace.TraceRecorder``.
+- :mod:`repro.obs.export` — versioned JSON/CSV export schema.
+- :mod:`repro.obs.runlog` — run collection: samples per-protocol
+  overhead series while experiments execute.
+
+An :class:`Observability` bundle (one per built system) ties a registry
+to an optional span tracer.  This package never imports
+``repro.core`` — configuration arrives duck-typed — so ``core.config``
+is free to reference obs types without an import cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.obs.registry import (CardinalityError, MetricError,
+                                MetricsRegistry, DEFAULT_BUCKETS,
+                                DEFAULT_MAX_LABEL_SETS)
+from repro.obs.spans import Span, SpanTracer
+
+__all__ = [
+    "Observability", "MetricsRegistry", "SpanTracer", "Span",
+    "CardinalityError", "MetricError", "DEFAULT_BUCKETS",
+    "DEFAULT_MAX_LABEL_SETS",
+]
+
+
+class Observability:
+    """One system's metrics registry plus (optional) span tracer.
+
+    ``spans_enabled`` gates all span creation: when off (the tier-1
+    default) :meth:`begin_span` returns ``None`` and instrumented code
+    falls through without touching the tracer, so the simulation's
+    event sequence is untouched.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 tracer: Optional[SpanTracer] = None,
+                 spans_enabled: bool = False):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else SpanTracer()
+        self.spans_enabled = spans_enabled
+
+    @classmethod
+    def from_config(cls, obs_cfg: Any = None, trace: Any = None,
+                    force_spans: bool = False) -> "Observability":
+        """Build a bundle from an ``ObservabilityConfig``-shaped object.
+
+        ``obs_cfg`` is duck-typed (``histogram_buckets``,
+        ``max_label_sets``, ``spans`` attributes are read with
+        defaults) so this package stays independent of ``core.config``.
+        ``force_spans`` turns span collection on regardless of config —
+        used when a run collector is active.
+        """
+        buckets = tuple(getattr(obs_cfg, "histogram_buckets", None)
+                        or DEFAULT_BUCKETS)
+        max_sets = getattr(obs_cfg, "max_label_sets", DEFAULT_MAX_LABEL_SETS)
+        registry = MetricsRegistry(max_label_sets=max_sets,
+                                   default_buckets=buckets)
+        tracer = SpanTracer(trace=trace)
+        spans = bool(getattr(obs_cfg, "spans", False)) or force_spans
+        return cls(registry=registry, tracer=tracer, spans_enabled=spans)
+
+    def begin_span(self, t: float, kind: str, node: str,
+                   parent: Optional[Span] = None, **attrs: Any,
+                   ) -> Optional[Span]:
+        """Open a span if span collection is on; otherwise ``None``.
+
+        Callers hold the returned handle and ``.end(t)`` it, guarding
+        with ``if span is not None`` — the cheap no-op path keeps hot
+        protocol code free of tracer work in normal runs.
+        """
+        if not self.spans_enabled:
+            return None
+        return self.tracer.begin(t, kind, node, parent=parent, **attrs)

@@ -38,7 +38,7 @@ class FencingOnlyAuthority(SafetyAuthority):
         self._resolutions: Dict[str, Event] = {}
 
     def _on_delivery_failure(self, client: str, msg: Message) -> None:
-        self.lease_cpu_ops += 1
+        self._count_cpu()
         self.trace.emit(self.sim.now, "authority.fence_steal",
                         self.endpoint.name, client=client)
         ev = self.sim.event()

@@ -41,17 +41,16 @@ class _LeaseRecord:
 class FrangipaniAuthority(SafetyAuthority):
     """Heartbeat-lease authority with always-on per-client state."""
 
-    def __init__(self, sim, endpoint, on_steal, trace=None,
+    def __init__(self, sim, endpoint, on_steal, trace=None, obs=None,
                  lease_duration: float = 30.0, check_interval: float = 1.0,
                  grace: float = 2.0):
-        super().__init__(sim, endpoint, on_steal, trace)
         self.lease_duration = lease_duration
         self.check_interval = check_interval
         self.grace = grace
         self._table: Dict[str, _LeaseRecord] = {}
         self._resolutions: Dict[str, Event] = {}
         self._expired: Dict[str, bool] = {}
-        endpoint.set_gatekeeper(self.gatekeeper)
+        super().__init__(sim, endpoint, on_steal, trace, obs=obs)
         endpoint.register(MsgKind.HEARTBEAT, self._h_heartbeat)
         sim.process(self._scan(), name=f"{endpoint.name}:frangipani-scan")
 
@@ -75,7 +74,7 @@ class FrangipaniAuthority(SafetyAuthority):
     def gatekeeper(self, msg: Message) -> Optional[str]:
         """Every inbound message touches the lease table (the per-message
         cost Storage Tank avoids)."""
-        self.lease_cpu_ops += 1
+        self._count_cpu()
         rec = self._table.get(msg.src)
         now_local = self.endpoint.local_now()
         if rec is None:
@@ -86,7 +85,7 @@ class FrangipaniAuthority(SafetyAuthority):
             # Expired client: refuse service until the steal has finished,
             # then re-admit with a fresh lease.
             if msg.src in self._resolutions or not self._expired.get(msg.src, False):
-                self.lease_msgs_sent += 1
+                self._count_lease_msg()
                 return "nack"
             self._expired.pop(msg.src, None)
         rec.expiry_local = now_local + self.lease_duration
@@ -103,7 +102,7 @@ class FrangipaniAuthority(SafetyAuthority):
             for client, rec in list(self._table.items()):
                 expired_for = now_local - rec.expiry_local
                 if expired_for >= self.grace and not self._expired.get(client):
-                    self.lease_cpu_ops += 1
+                    self._count_cpu()
                     self._expired[client] = True
                     ev = self.sim.event()
                     self._resolutions[client] = ev
@@ -125,6 +124,9 @@ class FrangipaniClientAgent:
         self.lease_duration = lease_duration
         self.heartbeat_interval = heartbeat_interval
         self.heartbeats_sent = 0
+        self._m_msgs = client.obs.registry.counter(
+            "lease.client.msgs_sent", "Client-originated lease messages",
+            labels=("node",)).labels(node=client.name)
         self._last_ack_local: Optional[float] = None
         self._expired = False
         # Frangipani clients check the lease before every operation
@@ -142,10 +144,16 @@ class FrangipaniClientAgent:
         return (self.client.endpoint.local_now()
                 < self._last_ack_local + self.lease_duration)
 
+    def overhead_snapshot(self) -> Dict[str, float]:
+        """Client-side lease overhead (heartbeat traffic)."""
+        return {"heartbeats": float(self.heartbeats_sent),
+                "lease_msgs_sent": float(self.heartbeats_sent)}
+
     def _run(self) -> Generator[Event, Any, None]:
         ep = self.client.endpoint
         while True:
             self.heartbeats_sent += 1
+            self._m_msgs.inc()
             try:
                 yield from ep.request(self.client.server, MsgKind.HEARTBEAT, {})
                 self._last_ack_local = ep.local_now()

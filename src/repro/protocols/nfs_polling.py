@@ -31,6 +31,7 @@ from repro.metadata.inode import FileAttributes
 from repro.net.control import ControlNetwork, Endpoint, RetryPolicy
 from repro.net.message import DeliveryError, MsgKind, NackError
 from repro.net.san import SanFabric, SanUnreachableError
+from repro.obs import Observability
 from repro.sim.clock import LocalClock
 from repro.sim.events import Event
 from repro.sim.kernel import Simulator
@@ -45,15 +46,18 @@ class NfsPollingClient:
     def __init__(self, sim: Simulator, net: ControlNetwork, san: SanFabric,
                  name: str, server: str, clock: LocalClock,
                  attr_ttl: float = 3.0,
-                 trace: Optional[TraceRecorder] = None):
+                 trace: Optional[TraceRecorder] = None,
+                 obs: Optional[Observability] = None):
         self.sim = sim
         self.san = san
         self.name = name
         self.server = server
         self.attr_ttl = attr_ttl
         self.trace = trace if trace is not None else net.trace
+        self.obs = obs if obs is not None else Observability()
         self.endpoint = Endpoint(sim, net, name, clock, trace=self.trace,
                                  default_policy=RetryPolicy(timeout=1.0, retries=3))
+        self.endpoint.obs = self.obs
         san.attach_initiator(name)
         self.cache = PageCache()
         self.fds = FdTable()
@@ -62,6 +66,18 @@ class NfsPollingClient:
         self.polls_sent = 0
         self.ops_completed = 0
         self.app_errors = 0
+        self._m_lease_msgs = self.obs.registry.counter(
+            "lease.client.msgs_sent", "Client-originated lease messages",
+            labels=("node",)).labels(node=name)
+
+    def overhead_snapshot(self) -> Dict[str, float]:
+        """Client-side counters for E7/E9 (``ClientAgent`` conformance)."""
+        return {
+            "ops_completed": float(self.ops_completed),
+            "app_errors": float(self.app_errors),
+            "polls_sent": float(self.polls_sent),
+            "lease_msgs_sent": float(self.polls_sent),
+        }
 
     # -- API (process generators) ---------------------------------------
     def create(self, path: str, size: int = 0) -> Generator[Event, Any, int]:
@@ -180,6 +196,7 @@ class NfsPollingClient:
         if checked is not None and now_local - checked < self.attr_ttl:
             return
         self.polls_sent += 1
+        self._m_lease_msgs.inc()
         self.trace.emit(self.sim.now, "nfs.poll", self.name, file_id=of.file_id)
         try:
             reply = yield from self._rpc(MsgKind.OPEN,

@@ -27,7 +27,7 @@ class ImmediateStealAuthority(SafetyAuthority):
         self._resolutions: Dict[str, Event] = {}
 
     def _on_delivery_failure(self, client: str, msg: Message) -> None:
-        self.lease_cpu_ops += 1
+        self._count_cpu()
         self.trace.emit(self.sim.now, "authority.immediate_steal",
                         self.endpoint.name, client=client)
         ev = self.sim.event()

@@ -34,11 +34,10 @@ OBJECT_LEASE_BYTES = 40
 class VLeaseAuthority(SafetyAuthority):
     """Per-object lease table at the locking authority."""
 
-    def __init__(self, sim, endpoint, on_steal, trace=None,
+    def __init__(self, sim, endpoint, on_steal, trace=None, obs=None,
                  server: Optional["StorageTankServer"] = None,
                  object_lease_duration: float = 10.0,
                  check_interval: float = 1.0):
-        super().__init__(sim, endpoint, on_steal, trace)
         if server is None:
             raise ValueError("VLeaseAuthority needs the owning server")
         self.server = server
@@ -47,6 +46,7 @@ class VLeaseAuthority(SafetyAuthority):
         # (client, obj) -> expiry_local
         self._table: Dict[Tuple[str, int], float] = {}
         self.object_expirations = 0
+        super().__init__(sim, endpoint, on_steal, trace, obs=obs)
 
         server.locks.grant_listeners.append(self._on_grant)
         server.locks.release_listeners.append(self._on_release)
@@ -59,7 +59,7 @@ class VLeaseAuthority(SafetyAuthority):
 
     # -- lock table hooks ---------------------------------------------------
     def _on_grant(self, client: str, obj: int, mode: LockMode) -> None:
-        self.lease_cpu_ops += 1
+        self._count_cpu()
         self._table[(client, obj)] = (self.endpoint.local_now()
                                       + self.object_lease_duration)
 
@@ -70,7 +70,7 @@ class VLeaseAuthority(SafetyAuthority):
     def _h_renew(self, msg: Message):
         obj = int(msg.payload["file_id"])
         key = (msg.src, obj)
-        self.lease_cpu_ops += 1
+        self._count_cpu()
         if key not in self._table:
             return ("nack", {"error": "no lease"})
         self._table[key] = self.endpoint.local_now() + self.object_lease_duration
@@ -82,7 +82,7 @@ class VLeaseAuthority(SafetyAuthority):
             now_local = self.endpoint.local_now()
             for (client, obj), expiry in list(self._table.items()):
                 if expiry <= now_local:
-                    self.lease_cpu_ops += 1
+                    self._count_cpu()
                     self.object_expirations += 1
                     self._table.pop((client, obj), None)
                     self.trace.emit(self.sim.now, "vlease.expire",
@@ -107,7 +107,16 @@ class VLeaseClientAgent:
         self.renew_interval = object_lease_duration / safety_factor
         self.renewals_sent = 0
         self.purges = 0
+        self._m_msgs = client.obs.registry.counter(
+            "lease.client.msgs_sent", "Client-originated lease messages",
+            labels=("node",)).labels(node=client.name)
         client.sim.process(self._run(), name=f"{client.name}:vlease-renew")
+
+    def overhead_snapshot(self) -> Dict[str, float]:
+        """Client-side lease overhead (per-object renewal traffic)."""
+        return {"renewals": float(self.renewals_sent),
+                "purges": float(self.purges),
+                "lease_msgs_sent": float(self.renewals_sent)}
 
     def _run(self) -> Generator[Event, Any, None]:
         ep = self.client.endpoint
@@ -115,6 +124,7 @@ class VLeaseClientAgent:
             yield ep.local_timeout(self.renew_interval)
             for obj, _mode in self.client.locks.all_held():
                 self.renewals_sent += 1
+                self._m_msgs.inc()
                 try:
                     yield from ep.request(self.client.server, MsgKind.LEASE_RENEW,
                                           {"file_id": obj})

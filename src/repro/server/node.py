@@ -25,6 +25,7 @@ from repro.metadata.store import MetadataStore
 from repro.net.control import ControlNetwork, Endpoint, RetryPolicy
 from repro.net.message import DeliveryError, Message, MsgKind, NackError
 from repro.net.san import SanFabric
+from repro.obs import Observability
 from repro.server.recovery import RecoveryManager
 from repro.sim.clock import LocalClock
 from repro.sim.events import Event
@@ -55,7 +56,8 @@ class StorageTankServer:
                  trace: Optional[TraceRecorder] = None,
                  authority_factory: Optional[Callable[["StorageTankServer"], Any]] = None,
                  id_base: int = 0,
-                 alloc_share: Tuple[int, int] = (0, 1)):
+                 alloc_share: Tuple[int, int] = (0, 1),
+                 obs: Optional[Observability] = None):
         """``id_base`` makes this server's file ids globally unique and
         ``alloc_share = (index, total)`` gives it a disjoint slice of
         every shared disk's block space (multi-server clusters)."""
@@ -65,11 +67,13 @@ class StorageTankServer:
         self.contract = contract
         self.config = config or ServerConfig()
         self.trace = trace if trace is not None else net.trace
+        self.obs = obs if obs is not None else Observability()
 
         self.endpoint = Endpoint(
             sim, net, name, clock, trace=self.trace,
             default_policy=RetryPolicy(timeout=self.config.demand_timeout,
                                        retries=self.config.demand_retries))
+        self.endpoint.obs = self.obs
         san.attach_initiator(name)
         self.metadata = MetadataStore(id_base=id_base)
         share_idx, share_total = alloc_share
@@ -83,10 +87,12 @@ class StorageTankServer:
         # waiters simply queue until the holder releases or is stolen from).
         self.range_locks = RangeLockManager(now_fn=lambda: sim.now)
 
+        self.locks.bind_obs(self.obs, name)
+
         if authority_factory is None:
             authority_factory = lambda srv: ServerLeaseAuthority(
                 srv.sim, srv.endpoint, srv.contract,
-                on_steal=srv.steal_client, trace=srv.trace)
+                on_steal=srv.steal_client, trace=srv.trace, obs=srv.obs)
         self.authority = authority_factory(self)
 
         self.recovery = RecoveryManager(self, grace=self.config.recovery_grace)

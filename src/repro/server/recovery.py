@@ -41,6 +41,8 @@ class RecoveryManager:
         self.reasserted = 0
         self.reassert_conflicts = 0
         self.restarts = 0
+        self._outage_span = None
+        self._recovery_span = None
         server.endpoint.register(LOCK_REASSERT, self._h_reassert)
 
     # -- state ------------------------------------------------------------
@@ -62,6 +64,10 @@ class RecoveryManager:
         self.server.locks.clear_volatile(now=self.server.sim.now)
         self.server.trace.emit(self.server.sim.now, "server.crash",
                                self.server.name)
+        obs = getattr(self.server, "obs", None)
+        if obs is not None and self._outage_span is None:
+            self._outage_span = obs.begin_span(
+                self.server.sim.now, "server.outage", self.server.name)
 
     def restart(self) -> None:
         """Bring the server back with a new epoch and open the grace
@@ -72,6 +78,28 @@ class RecoveryManager:
         self.server.endpoint.restart()
         self.server.trace.emit(self.server.sim.now, "server.restart",
                                self.server.name, epoch=self.epoch)
+        now = self.server.sim.now
+        if self._outage_span is not None:
+            self._outage_span.end(now, epoch=self.epoch)
+            self._outage_span = None
+        obs = getattr(self.server, "obs", None)
+        if obs is not None and obs.spans_enabled:
+            if self._recovery_span is not None:
+                self._recovery_span.end(now, interrupted=True)
+            span = obs.begin_span(now, "server.recovery_grace",
+                                  self.server.name, epoch=self.epoch)
+            self._recovery_span = span
+
+            def close_grace() -> Generator[Event, Any, None]:
+                yield self.server.endpoint.local_timeout(self.grace)
+                if self._recovery_span is span:
+                    span.end(self.server.sim.now,
+                             reasserted=self.reasserted,
+                             conflicts=self.reassert_conflicts)
+                    self._recovery_span = None
+
+            self.server.sim.process(
+                close_grace(), name=f"{self.server.name}:obs-grace")
 
     # -- reassertion -------------------------------------------------------
     def _h_reassert(self, msg: Message):

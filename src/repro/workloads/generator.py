@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Generator, List, Optional, Union
+from typing import Any, Dict, Generator, List, Optional
 
 import numpy as np
 
@@ -20,8 +20,6 @@ from repro.protocols.nfs_polling import NfsPollingClient
 from repro.sim.events import Event
 from repro.storage.blockmap import BLOCK_SIZE
 from repro.workloads.zipf import ZipfSampler
-
-AnyClient = Union[StorageTankClient, NfsPollingClient]
 
 
 @dataclass

@@ -1,0 +1,90 @@
+"""Exporter tests: the repro.obs/1.0 document schema is pinned by a
+golden file — any change to the JSON shape must update the golden
+alongside a schema-version bump decision."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.export import (
+    SCHEMA,
+    dumps_csv,
+    dumps_json,
+    export_json,
+    make_document,
+    make_manifest,
+    metrics_to_csv_rows,
+    run_entry,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import SpanTracer
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "golden", "obs_export.json")
+
+
+def build_document():
+    """A small, fully deterministic export document (no wall clock)."""
+    reg = MetricsRegistry()
+    reg.counter("lease.server.cpu_ops", "Lease computations",
+                labels=("node",)).labels(node="server").inc(7)
+    reg.gauge("lease.server.state_bytes", "Lease-state footprint",
+              labels=("node",)).labels(node="server").set(128)
+    h = reg.histogram("net.rpc.latency_s", "Round-trip time",
+                      labels=("kind", "status"), buckets=(0.01, 0.1))
+    h.labels(kind="open", status="ack").observe(0.004)
+    h.labels(kind="open", status="ack").observe(0.05)
+    tracer = SpanTracer()
+    tracer.begin(1.0, "lease.steal_resolution", "server", client="c2").end(3.5)
+    manifest = make_manifest(experiment="e7", seed=0,
+                             protocols=["storage_tank"],
+                             config={"n_clients": 2}, tau=30.0)
+    run = run_entry("storage_tank",
+                    labels={"protocol": "storage_tank", "seed": "0"},
+                    metrics=reg.snapshot(),
+                    series={"state_bytes": {"times": [0.0, 1.0],
+                                            "values": [0.0, 128.0]}},
+                    spans=tracer.to_dicts())
+    return make_document(manifest, [run])
+
+
+def test_document_matches_golden_file():
+    with open(GOLDEN) as fh:
+        golden = fh.read()
+    assert dumps_json(build_document()) == golden
+
+
+def test_schema_version_string():
+    doc = build_document()
+    assert doc["schema"] == SCHEMA == "repro.obs/1.0"
+    assert set(doc) == {"schema", "manifest", "runs"}
+    assert set(doc["manifest"]) == {"experiment", "seed", "protocols",
+                                    "config", "extra"}
+    for run in doc["runs"]:
+        assert set(run) == {"name", "labels", "metrics", "series", "spans"}
+
+
+def test_json_roundtrip_is_stable():
+    doc = build_document()
+    assert json.loads(dumps_json(doc)) == json.loads(dumps_json(
+        json.loads(dumps_json(doc))))
+
+
+def test_export_json_writes_sorted_file(tmp_path):
+    path = tmp_path / "out.json"
+    export_json(build_document(), str(path))
+    assert json.loads(path.read_text())["schema"] == "repro.obs/1.0"
+    assert path.read_text() == dumps_json(build_document())
+
+
+def test_csv_rows_flatten_metrics():
+    rows = metrics_to_csv_rows(build_document())
+    by_metric = {(r["metric"], r["labels"]): r for r in rows}
+    counter = by_metric[("lease.server.cpu_ops", "node=server")]
+    assert counter["value"] == 7.0
+    assert counter["kind"] == "counter"
+    hist = by_metric[("net.rpc.latency_s", "kind=open,status=ack")]
+    assert hist["value"] == pytest.approx(0.054)  # histograms export the sum
+    text = dumps_csv(build_document())
+    assert text.splitlines()[0] == "run,metric,kind,labels,value"
+    assert len(text.splitlines()) == 1 + len(rows)

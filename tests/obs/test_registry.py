@@ -1,0 +1,125 @@
+"""Metrics registry semantics: counters, gauges, histograms, labels."""
+
+import pytest
+
+from repro.obs.registry import (
+    CardinalityError,
+    MetricError,
+    MetricsRegistry,
+)
+
+
+def test_counter_inc_and_value():
+    reg = MetricsRegistry()
+    c = reg.counter("ops.total", "ops").labels()
+    assert c.value == 0.0
+    c.inc()
+    c.inc(2.5)
+    assert c.value == 3.5
+    assert reg.value("ops.total") == 3.5
+
+
+def test_counter_rejects_negative_increment():
+    reg = MetricsRegistry()
+    c = reg.counter("ops.total", "ops").labels()
+    with pytest.raises(MetricError):
+        c.inc(-1)
+
+
+def test_labeled_children_are_independent():
+    reg = MetricsRegistry()
+    fam = reg.counter("msgs", "messages", labels=("node",))
+    fam.labels(node="c1").inc(3)
+    fam.labels(node="c2").inc(4)
+    assert reg.value("msgs", node="c1") == 3.0
+    assert reg.value("msgs", node="c2") == 4.0
+    assert fam.total() == 7.0
+    # Partial/absent label lookups aggregate over the family.
+    assert reg.value("msgs") == 7.0
+
+
+def test_labels_must_match_declared_names():
+    reg = MetricsRegistry()
+    fam = reg.counter("msgs", "messages", labels=("node",))
+    with pytest.raises(MetricError):
+        fam.labels(host="c1")
+    with pytest.raises(MetricError):
+        fam.labels(node="c1", extra="x")
+
+
+def test_same_label_values_return_same_child():
+    reg = MetricsRegistry()
+    fam = reg.counter("msgs", "messages", labels=("node",))
+    a = fam.labels(node="c1")
+    b = fam.labels(node="c1")
+    assert a is b
+
+
+def test_declare_is_idempotent_but_kind_clash_raises():
+    reg = MetricsRegistry()
+    fam1 = reg.counter("msgs", "messages", labels=("node",))
+    fam2 = reg.counter("msgs", "messages", labels=("node",))
+    assert fam1 is fam2
+    with pytest.raises(MetricError):
+        reg.gauge("msgs", "now a gauge", labels=("node",))
+    with pytest.raises(MetricError):
+        reg.counter("msgs", "messages", labels=("other",))
+
+
+def test_cardinality_guard_trips():
+    reg = MetricsRegistry(max_label_sets=3)
+    fam = reg.counter("msgs", "messages", labels=("node",))
+    for i in range(3):
+        fam.labels(node=f"c{i}")
+    with pytest.raises(CardinalityError):
+        fam.labels(node="c999")
+    # Existing children keep working after the guard trips.
+    fam.labels(node="c0").inc()
+    assert reg.value("msgs", node="c0") == 1.0
+
+
+def test_gauge_set_inc_dec_and_callback():
+    reg = MetricsRegistry()
+    g = reg.gauge("depth", "queue depth").labels()
+    g.set(10)
+    g.inc(2)
+    g.dec(5)
+    assert g.value == 7.0
+    state = {"v": 42.0}
+    g.set_function(lambda: state["v"])
+    assert g.value == 42.0
+    state["v"] = 43.0
+    assert g.value == 43.0
+
+
+def test_histogram_buckets_and_quantile():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat", "latency", buckets=(0.1, 1.0)).labels()
+    for v in (0.05, 0.5, 0.5, 5.0):
+        h.observe(v)
+    assert h.count == 4
+    assert h.value == pytest.approx(6.05)  # value is the sum
+    # bucket counts are cumulative-style per-bucket tallies
+    assert h.quantile(0.5) <= 1.0
+    assert h.quantile(0.99) > 1.0
+
+
+def test_snapshot_shape():
+    reg = MetricsRegistry()
+    reg.counter("msgs", "messages", labels=("node",)).labels(node="c1").inc(2)
+    reg.gauge("depth", "queue depth").labels().set(3)
+    reg.histogram("lat", "latency", buckets=(1.0,)).labels().observe(0.5)
+    snap = reg.snapshot()
+    assert set(snap) == {"msgs", "depth", "lat"}
+    assert snap["msgs"]["kind"] == "counter"
+    assert snap["msgs"]["series"] == [{"labels": {"node": "c1"}, "value": 2.0}]
+    assert snap["depth"]["series"][0]["value"] == 3.0
+    hist = snap["lat"]["series"][0]
+    assert hist["count"] == 1
+    assert hist["sum"] == 0.5
+    assert "buckets" in hist
+
+
+def test_unknown_metric_reads_zero():
+    reg = MetricsRegistry()
+    assert reg.value("never.declared") == 0.0
