@@ -59,6 +59,15 @@ class ClientIOError(Exception):
     the application sees.  Reported, never silent."""
 
 
+def _routing_refusal(exc: NackError) -> bool:
+    """Whether a NACK is a cluster routing refusal (retry elsewhere).
+
+    Matches by substring because a refusal raised inside a deferred
+    transaction surfaces as ``repr(exc)`` in the error field."""
+    err = str(exc.nack.payload.get("error", ""))
+    return "wrong_owner" in err or "map_stale" in err
+
+
 @dataclass
 class ClientConfig:
     """Tunables for one client node."""
@@ -142,6 +151,14 @@ class StorageTankClient:
 
         # file_id -> owning server (populated at create/open).
         self._file_server: Dict[int, str] = {}
+        # Cluster rerouting state (wired by ``attach_cluster``): the
+        # coordinator's node name, the last shard map we saw, and
+        # file_id -> ring slot so fid-routed requests follow slot moves.
+        self.coordinator: Optional[str] = None
+        self.shard_map = None
+        self._file_slot: Dict[int, int] = {}
+        self.rerouted_ops = 0
+        self.shard_migrations = 0
         # Weakly consistent attribute cache: path -> (attrs, local fetch time).
         self._attr_cache: Dict[str, Tuple[FileAttributes, float]] = {}
         self.attr_cache_hits = 0
@@ -178,6 +195,15 @@ class StorageTankClient:
                                            name=f"{name}:writeback")
 
     # ------------------------------------------------------------------
+    # cluster attachment
+    # ------------------------------------------------------------------
+    def attach_cluster(self, coordinator: str, shard_map: Any) -> None:
+        """Enable shard-map routing (called by ``build_system``)."""
+        self.coordinator = coordinator
+        self.shard_map = shard_map
+        self.endpoint.register(MsgKind.CLUSTER_MAP_UPDATE, self._on_map_push)
+
+    # ------------------------------------------------------------------
     # application API (process generators)
     # ------------------------------------------------------------------
     def create(self, path: str, size: int = 0) -> Generator[Event, Any, int]:
@@ -187,9 +213,10 @@ class StorageTankClient:
         self._enter()
         try:
             reply = yield from self._rpc(MsgKind.CREATE,
-                                         {"path": path, "size": size}, srv)
+                                         {"path": path, "size": size}, srv,
+                                         route=("path", path))
             fid = int(reply.payload["file_id"])
-            self._file_server[fid] = srv
+            self._note_file_owner(fid, path)
             return fid
         finally:
             self._exit()
@@ -203,16 +230,17 @@ class StorageTankClient:
         self._enter()
         try:
             reply = yield from self._rpc(MsgKind.OPEN,
-                                         {"path": path, "mode": mode}, srv)
+                                         {"path": path, "mode": mode}, srv,
+                                         route=("path", path))
             p = reply.payload
             attrs = FileAttributes.from_payload(p["attrs"])
             extents = extents_from_payload(p["extents"])
             lock = LockMode(int(p["lock"]))
             fid = int(p["file_id"])
-            self._file_server[fid] = srv
+            self._note_file_owner(fid, path)
             self.locks.note_granted(fid, lock)
             of = self.fds.install(path, fid, mode, attrs, extents, lock,
-                                  server=srv)
+                                  server=self._file_server[fid])
             self.ops_completed += 1
             return of.fd
         finally:
@@ -280,7 +308,8 @@ class StorageTankClient:
             if end > of.extents.size_bytes:
                 reply = yield from self._rpc(MsgKind.SETATTR,
                                              {"file_id": of.file_id, "size": end},
-                                             of.server)
+                                             of.server,
+                                             route=("file", of.file_id))
                 of.attrs = FileAttributes.from_payload(reply.payload["attrs"])
                 of.extents = extents_from_payload(reply.payload["extents"])
             tag = f"{self.name}:w{next(self._write_seq)}"
@@ -342,7 +371,8 @@ class StorageTankClient:
             yield from self._rpc(MsgKind.RANGE_ACQUIRE,
                                  {"file_id": of.file_id, "start": offset,
                                   "end": offset + nbytes,
-                                  "mode": int(LockMode.SHARED)}, of.server)
+                                  "mode": int(LockMode.SHARED)}, of.server,
+                                 route=("file", of.file_id))
             try:
                 first, count = byte_range_to_blocks(offset, nbytes)
                 out = yield from self._fetch_blocks(
@@ -357,7 +387,8 @@ class StorageTankClient:
             finally:
                 yield from self._rpc(MsgKind.RANGE_RELEASE,
                                      {"file_id": of.file_id, "start": offset,
-                                      "end": offset + nbytes}, of.server)
+                                      "end": offset + nbytes}, of.server,
+                                     route=("file", of.file_id))
         finally:
             self._exit()
 
@@ -376,7 +407,8 @@ class StorageTankClient:
             yield from self._rpc(MsgKind.RANGE_ACQUIRE,
                                  {"file_id": of.file_id, "start": offset,
                                   "end": offset + nbytes,
-                                  "mode": int(LockMode.EXCLUSIVE)}, of.server)
+                                  "mode": int(LockMode.EXCLUSIVE)}, of.server,
+                                 route=("file", of.file_id))
             try:
                 tag = f"{self.name}:w{next(self._write_seq)}"
                 first, count = byte_range_to_blocks(offset, nbytes)
@@ -397,7 +429,8 @@ class StorageTankClient:
             finally:
                 yield from self._rpc(MsgKind.RANGE_RELEASE,
                                      {"file_id": of.file_id, "start": offset,
-                                      "end": offset + nbytes}, of.server)
+                                      "end": offset + nbytes}, of.server,
+                                     route=("file", of.file_id))
         finally:
             self._exit()
 
@@ -408,11 +441,13 @@ class StorageTankClient:
         yield from self._admit(srv)
         self._enter()
         try:
-            reply = yield from self._rpc(MsgKind.UNLINK, {"path": path}, srv)
+            reply = yield from self._rpc(MsgKind.UNLINK, {"path": path}, srv,
+                                         route=("path", path))
             fid = int(reply.payload["file_id"])
             self.cache.invalidate_file(fid)
             self.locks.note_released(fid)
             self._file_server.pop(fid, None)
+            self._file_slot.pop(fid, None)
             for of in self.fds.by_file_id(fid):
                 of.stale = True
                 of.lock = LockMode.NONE
@@ -421,17 +456,45 @@ class StorageTankClient:
             self._exit()
 
     def readdir(self, path: str = "/") -> Generator[Event, Any, List[str]]:
-        """List entries under a directory (single-server namespaces; on
-        clusters this lists the primary server's slice)."""
-        srv = self.server_for_path(path) if len(self.servers) == 1 else self.server
-        yield from self._admit(srv)
-        self._enter()
-        try:
-            reply = yield from self._rpc(MsgKind.READDIR, {"path": path}, srv)
-            self.ops_completed += 1
-            return list(reply.payload["entries"])
-        finally:
-            self._exit()
+        """List entries under a directory, merged across all servers.
+
+        This replaces a single-RPC implementation that asked exactly one
+        server — the path's owner on a single-server installation, else
+        the primary — and therefore silently listed only that server's
+        slice of a sharded namespace.  The RPC now fans out to every
+        namespace owner (the shard map's owners under a cluster, every
+        configured server otherwise) and merges the slices; a server
+        that is down or quiesced just drops out of the merge rather than
+        failing the whole listing, unless *no* server answers.
+        """
+        if len(self.servers) == 1:
+            targets: List[str] = [self.servers[0]]
+        elif self.shard_map is not None:
+            targets = list(self.shard_map.owners())
+        else:
+            targets = list(self.servers)
+        entries: set = set()
+        answered = False
+        last_exc: Optional[Exception] = None
+        for srv in targets:
+            try:
+                yield from self._admit(srv)
+                self._enter()
+                try:
+                    reply = yield from self._rpc(MsgKind.READDIR,
+                                                 {"path": path}, srv)
+                finally:
+                    self._exit()
+            except (ClientQuiescedError, ClientDisconnectedError,
+                    DeliveryError, NackError) as exc:
+                last_exc = exc
+                continue
+            answered = True
+            entries.update(reply.payload["entries"])
+        if not answered and last_exc is not None:
+            raise last_exc
+        self.ops_completed += 1
+        return sorted(entries)
 
     def getattr(self, path: str) -> Generator[Event, Any, FileAttributes]:
         """Fetch a file's attributes from its owning server.
@@ -453,7 +516,8 @@ class StorageTankClient:
         yield from self._admit(srv)
         self._enter()
         try:
-            reply = yield from self._rpc(MsgKind.GETATTR, {"path": path}, srv)
+            reply = yield from self._rpc(MsgKind.GETATTR, {"path": path}, srv,
+                                         route=("path", path))
             self.ops_completed += 1
             attrs = FileAttributes.from_payload(reply.payload["attrs"])
             if ttl > 0:
@@ -497,7 +561,10 @@ class StorageTankClient:
 
     # -- routing ---------------------------------------------------------
     def server_for_path(self, path: str) -> str:
-        """The metadata server owning a path (stable hash routing)."""
+        """The metadata server owning a path (shard map when clustered,
+        stable hash routing otherwise)."""
+        if self.shard_map is not None:
+            return self.shard_map.owner_of_path(path)
         if len(self.servers) == 1:
             return self.servers[0]
         from repro.sim.rng import _stable_hash
@@ -505,15 +572,111 @@ class StorageTankClient:
 
     def server_for_file(self, file_id: int) -> str:
         """The server owning a file id (primary if unknown)."""
+        if self.shard_map is not None:
+            slot = self._file_slot.get(file_id)
+            if slot is not None:
+                return self.shard_map.owner_of_slot(slot)
         return self._file_server.get(file_id, self.server)
+
+    def _note_file_owner(self, fid: int, path: str) -> None:
+        """Record a file's owner (and its ring slot when clustered)."""
+        if self.shard_map is not None:
+            from repro.cluster.shardmap import slot_of_path
+            self._file_slot[fid] = slot_of_path(path)
+        self._file_server[fid] = self.server_for_path(path)
 
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
     def _rpc(self, kind: str, payload: Dict[str, Any],
-             server: Optional[str] = None) -> Generator[Event, Any, Message]:
-        return (yield from self.endpoint.request(server or self.server,
-                                                 kind, payload))
+             server: Optional[str] = None,
+             route: Optional[Tuple[str, Any]] = None,
+             ) -> Generator[Event, Any, Message]:
+        """One request, with cluster rerouting.
+
+        ``route`` names what the request addresses — ``("path", p)`` or
+        ``("file", fid)`` — so a ``WRONG_OWNER`` or ``map_stale`` NACK
+        (slot moved, or the target silenced itself after losing the
+        coordinator) can be retried: refetch the shard map, re-derive
+        the owner, and resend.  Bounded, and inert without a cluster.
+        """
+        target = server or self.server
+        attempts = 0
+        while True:
+            try:
+                return (yield from self.endpoint.request(target, kind, payload))
+            except NackError as exc:
+                if self.shard_map is None or not _routing_refusal(exc):
+                    raise
+                attempts += 1
+                if attempts > 3:
+                    raise
+                self.rerouted_ops += 1
+                yield from self._refresh_map()
+                new_target = self._route_target(route, target)
+                if new_target == target:
+                    # Map unchanged (e.g. the owner is silenced but not
+                    # yet reassigned): back off before asking again.
+                    yield self.endpoint.local_timeout(0.5)
+                target = new_target
+
+    def _route_target(self, route: Optional[Tuple[str, Any]],
+                      current: str) -> str:
+        if route is None or self.shard_map is None:
+            return current
+        what, key = route
+        if what == "path":
+            return self.server_for_path(key)
+        return self.server_for_file(int(key))
+
+    def _refresh_map(self) -> Generator[Event, Any, None]:
+        """Pull the current shard map from the coordinator."""
+        if self.coordinator is None:
+            return
+        from repro.cluster.shardmap import ShardMap
+        try:
+            reply = yield from self.endpoint.request(
+                self.coordinator, MsgKind.CLUSTER_MAP_FETCH, {})
+        except (DeliveryError, NackError):
+            return
+        self._apply_map(ShardMap.from_payload(reply.payload["map"]))
+
+    def _on_map_push(self, msg: Message):
+        """Coordinator-pushed map update (takeover/failback broadcast)."""
+        from repro.cluster.shardmap import ShardMap
+        self._apply_map(ShardMap.from_payload(msg.payload["map"]))
+        return ("ack", {})
+
+    def _apply_map(self, new_map: Any) -> None:
+        """Adopt a newer shard map and migrate per-file bookkeeping.
+
+        Every file whose slot moved is re-pointed at its new owner
+        (``_file_server`` and open instances), and for each server that
+        gained files we hold locks from, a reassertion pass re-claims
+        them there — the same client-driven recovery as a restart, §6.
+        """
+        if self.shard_map is None:
+            return
+        if new_map.epoch <= self.shard_map.epoch:
+            return
+        self.shard_map = new_map
+        gained: set = set()
+        for fid, slot in self._file_slot.items():
+            owner = new_map.owner_of_slot(slot)
+            if self._file_server.get(fid) != owner:
+                self._file_server[fid] = owner
+                self.shard_migrations += 1
+                if self.locks.mode_of(fid) != LockMode.NONE:
+                    gained.add(owner)
+        for of in self.fds.all_open():
+            owner = self.server_for_file(of.file_id)
+            if of.server != owner:
+                of.server = owner
+        self.trace.emit(self.sim.now, "client.map_update", self.name,
+                        epoch=new_map.epoch, migrated=len(gained))
+        for srv in sorted(gained):
+            self.sim.process(self._reassert_locks(srv),
+                             name=f"{self.name}:reassert:{srv}")
 
     def _on_ack_renew(self, msg: Message, t_send: float) -> None:
         lease = self.leases.get(msg.src)
@@ -606,7 +769,7 @@ class StorageTankClient:
             return
         reply = yield from self._rpc(MsgKind.LOCK_ACQUIRE,
                                      {"file_id": of.file_id, "mode": int(wanted)},
-                                     of.server)
+                                     of.server, route=("file", of.file_id))
         granted = LockMode(int(reply.payload["mode"]))
         self.locks.note_granted(of.file_id, granted)
         # Revalidation after staleness: cached pages may be outdated.
@@ -631,7 +794,8 @@ class StorageTankClient:
             if self.config.data_path == "server":
                 reply = yield from self._rpc(MsgKind.DATA_READ,
                                              {"file_id": of.file_id, "block": lb},
-                                             of.server)
+                                             of.server,
+                                             route=("file", of.file_id))
                 tag = reply.payload.get("tag")
                 version = int(reply.payload.get("version", -1))
             else:
@@ -705,7 +869,8 @@ class StorageTankClient:
                     MsgKind.DATA_WRITE,
                     {"file_id": p.file_id, "block": p.logical_block,
                      "tag": p.tag, "data_bytes": BLOCK_SIZE},
-                    self.server_for_file(p.file_id))
+                    self.server_for_file(p.file_id),
+                    route=("file", p.file_id))
             except (DeliveryError, NackError) as exc:
                 if report_errors:
                     self.app_errors += 1
@@ -813,35 +978,52 @@ class StorageTankClient:
                              name=f"{self.name}:reassert:{msg.src}")
 
     def _reassert_locks(self, server: str) -> Generator[Event, Any, None]:
-        """Re-claim every cached lock held from a restarted server.
+        """Re-claim every cached lock held from a restarted (or, under a
+        cluster, newly owning) server.
 
         A refused reassertion (someone else claimed the object first)
         forfeits the lock and invalidates that file's cache.
         """
-        from repro.server.recovery import LOCK_REASSERT
         for obj, mode in self.locks.all_held():
             if self.server_for_file(obj) != server:
                 continue
-            self.reasserts_sent += 1
             try:
-                yield from self._rpc(LOCK_REASSERT,
-                                     {"file_id": obj, "mode": int(mode)},
-                                     server)
-                self.trace.emit(self.sim.now, "client.reasserted", self.name,
-                                file_id=obj, mode=int(mode))
-            except NackError:
-                self.locks.note_released(obj)
-                dropped = self.cache.invalidate_file(obj)
-                for p in dropped:
-                    self.app_errors += 1
-                    self.trace.emit(self.sim.now, "app.error", self.name,
-                                    file_id=obj, tag=p.tag,
-                                    reason="reassert_refused")
-                for of in self.fds.by_file_id(obj):
-                    of.lock = LockMode.NONE
-                    of.stale = True
+                yield from self._reassert_one(obj, mode, server)
             except DeliveryError:
                 return  # server unreachable again; lease machinery owns this
+
+    def _reassert_one(self, obj: int, mode: LockMode, server: str,
+                      retried: bool = False) -> Generator[Event, Any, None]:
+        from repro.server.recovery import LOCK_REASSERT
+        self.reasserts_sent += 1
+        try:
+            yield from self.endpoint.request(server, LOCK_REASSERT,
+                                             {"file_id": obj,
+                                              "mode": int(mode)})
+            self.trace.emit(self.sim.now, "client.reasserted", self.name,
+                            file_id=obj, mode=int(mode))
+        except NackError as exc:
+            if _routing_refusal(exc) and self.shard_map is not None \
+                    and not retried:
+                # The slot moved again (e.g. failback raced us): follow
+                # the map once rather than forfeiting a live lock.
+                self.rerouted_ops += 1
+                yield from self._refresh_map()
+                new_owner = self.server_for_file(obj)
+                if new_owner != server:
+                    yield from self._reassert_one(obj, mode, new_owner,
+                                                  retried=True)
+                    return
+            self.locks.note_released(obj)
+            dropped = self.cache.invalidate_file(obj)
+            for p in dropped:
+                self.app_errors += 1
+                self.trace.emit(self.sim.now, "app.error", self.name,
+                                file_id=obj, tag=p.tag,
+                                reason="reassert_refused")
+            for of in self.fds.by_file_id(obj):
+                of.lock = LockMode.NONE
+                of.stale = True
 
     def force_lease_expiry(self) -> None:
         """Invalidate the cache and cede all locks immediately.

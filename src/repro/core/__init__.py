@@ -8,6 +8,7 @@ one server and N clients, wired for the selected safety protocol
 """
 
 from repro.core.config import (
+    ClusterConfig,
     LeaseConfig,
     NetworkConfig,
     PROTOCOLS,
@@ -17,6 +18,7 @@ from repro.core.config import (
 from repro.core.system import StorageTankSystem, build_system
 
 __all__ = [
+    "ClusterConfig",
     "LeaseConfig",
     "NetworkConfig",
     "PROTOCOLS",

@@ -76,6 +76,40 @@ class ObservabilityConfig:
 
 
 @dataclass(frozen=True)
+class ClusterConfig:
+    """Knobs for the :mod:`repro.cluster` membership subsystem.
+
+    Disabled by default: a plain multi-server installation keeps the
+    historical static hash-sharding with no coordinator process (and
+    therefore the exact event sequence it always had).
+    """
+
+    #: Run the coordinator + shard roles (requires storage_tank, n>=2).
+    enabled: bool = False
+    #: Hash slots on the ring; divisible by every cluster size we build.
+    n_slots: int = 60
+    #: Control-network node name of the coordinator process.
+    coordinator_name: str = "coord"
+    #: Seconds between coordinator liveness pings (per server).
+    ping_interval: float = 1.0
+    #: Per-attempt ping timeout (local seconds).
+    ping_timeout: float = 0.5
+    #: Ping retries before a server is declared dead.
+    ping_retries: int = 2
+    #: A server silences itself after this many local seconds without
+    #: coordinator contact (bounds what a partitioned owner can renew).
+    map_lease: float = 5.0
+    #: Reassertion grace window after the takeover wait.  Much shorter
+    #: than restart-recovery grace: displaced clients are *pushed* the
+    #: new map at detection time, so their reasserts are already queued
+    #: when the wait ends (no 0.5τ keep-alive discovery latency).
+    takeover_grace: float = 2.0
+    #: Push map updates to clients (False forces pull-based rerouting
+    #: via WRONG_OWNER → CLUSTER_MAP_FETCH → retry).
+    push_to_clients: bool = True
+
+
+@dataclass(frozen=True)
 class WorkloadConfig:
     """Synthetic workload shape (consumed by :mod:`repro.workloads`)."""
 
@@ -112,12 +146,16 @@ class SystemConfig:
     workload: WorkloadConfig = field(default_factory=WorkloadConfig)
     observability: ObservabilityConfig = field(
         default_factory=ObservabilityConfig)
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
     # Baseline knobs
     frangipani_heartbeat: float = 10.0
     vlease_object_duration: float = 10.0
     nfs_attr_ttl: float = 3.0
 
     def __post_init__(self) -> None:
+        # Validation order matters (and is pinned by tests): the
+        # protocol name is checked first, so a config that is wrong in
+        # several ways reports the most fundamental mistake.
         if self.protocol not in PROTOCOLS:
             raise ValueError(f"unknown protocol {self.protocol!r}; "
                              f"choose one of {PROTOCOLS}")
@@ -126,6 +164,12 @@ class SystemConfig:
         if self.n_servers > 1 and self.protocol != "storage_tank":
             raise ValueError("multi-server installations are implemented "
                              "for the storage_tank protocol only")
+        if self.cluster.enabled:
+            if self.protocol != "storage_tank":
+                raise ValueError("cluster membership is implemented for "
+                                 "the storage_tank protocol only")
+            if self.n_servers < 2:
+                raise ValueError("cluster membership needs n_servers >= 2")
 
     def client_names(self) -> Tuple[str, ...]:
         """The generated client node names."""

@@ -63,6 +63,7 @@ class StorageTankSystem:
     agents: Dict[str, ClientAgent] = field(default_factory=dict)
     servers: Dict[str, StorageTankServer] = field(default_factory=dict)
     obs: Observability = field(default_factory=Observability)
+    coordinator: Optional[Any] = None  # ClusterCoordinator when enabled
 
     # -- convenience ------------------------------------------------------
     @property
@@ -147,6 +148,18 @@ class StorageTankSystem:
                 snap[f"{sname}.transactions"] = srv.transactions
                 snap[f"{sname}.lock_grants"] = srv.locks.grants
                 snap[f"{sname}.state_bytes"] = srv.authority.state_bytes()
+        if self.coordinator is not None:
+            snap["cluster.map_epoch"] = self.coordinator.map.epoch
+            snap["cluster.takeovers"] = self.coordinator.takeovers
+            snap["cluster.failbacks"] = self.coordinator.failbacks
+            for sname, srv in self.servers.items():
+                if srv.cluster is not None:
+                    snap[f"{sname}.wrong_owner_nacks"] = \
+                        srv.cluster.wrong_owner_nacks
+            for name, cl in self.clients.items():
+                if hasattr(cl, "rerouted_ops"):
+                    snap[f"{name}.rerouted_ops"] = cl.rerouted_ops
+                    snap[f"{name}.shard_migrations"] = cl.shard_migrations
         for name, cl in self.clients.items():
             over = cl.overhead_snapshot()
             snap[f"{name}.ops_completed"] = int(over["ops_completed"])
@@ -261,11 +274,40 @@ def build_system(config: Optional[SystemConfig] = None) -> StorageTankSystem:
         if spec.agent is not None:
             agents[cname] = spec.agent(cfg, client)
 
+    coordinator = None
+    if cfg.cluster.enabled:
+        # Cluster membership: per-server shard roles plus the coordinator
+        # process.  The coordinator only exists when enabled, so default
+        # installations keep their exact historical event sequence.
+        from repro.cluster.coordinator import ClusterCoordinator
+        from repro.cluster.shardmap import ShardMap
+        from repro.cluster.takeover import ServerShardRole
+        initial = ShardMap.initial(server_names, cfg.cluster.n_slots)
+        peer_stores = {sname: srv.metadata for sname, srv in servers.items()}
+        for sname, srv in servers.items():
+            role = ServerShardRole(srv, initial,
+                                   grace=cfg.cluster.takeover_grace,
+                                   map_lease=cfg.cluster.map_lease)
+            role.peer_stores = dict(peer_stores)
+            role.order = server_names
+            srv.attach_cluster(role)
+        coordinator = ClusterCoordinator(
+            sim, net, cfg.cluster.coordinator_name, server_names,
+            clocks.create(cfg.cluster.coordinator_name), cfg.cluster,
+            trace=trace, obs=obs,
+            client_names=tuple(n for n, c in clients.items()
+                               if isinstance(c, StorageTankClient)))
+        for cl in clients.values():
+            if isinstance(cl, StorageTankClient):
+                cl.attach_cluster(cfg.cluster.coordinator_name, initial)
+        coordinator.start()
+
     system = StorageTankSystem(config=cfg, sim=sim, streams=streams,
                                trace=trace, clocks=clocks, control_net=net,
                                san=san, disks=disks, server=server,
                                clients=clients, agents=agents,
-                               servers=servers, obs=obs)
+                               servers=servers, obs=obs,
+                               coordinator=coordinator)
     if collector is not None:
         collector.on_system_built(system)
     return system

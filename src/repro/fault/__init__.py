@@ -13,6 +13,7 @@ from repro.fault.scenarios import (
     transient_partition,
     client_crash,
     san_partition,
+    server_crash,
 )
 
 __all__ = [
@@ -20,5 +21,6 @@ __all__ = [
     "client_crash",
     "fig2_control_partition",
     "san_partition",
+    "server_crash",
     "transient_partition",
 ]

@@ -90,6 +90,18 @@ class FaultInjector:
         return self._add(f"restart:{client}",
                          lambda: sysm.client(client).endpoint.restart())
 
+    def crash_server(self, server: str) -> "FaultInjector":
+        """Fail a metadata server (volatile lock state lost, §6)."""
+        sysm = self.system
+        return self._add(f"crash:{server}",
+                         lambda: sysm.server_node(server).crash())
+
+    def restart_server(self, server: str) -> "FaultInjector":
+        """Bring a crashed server back (new epoch; reassertion grace)."""
+        sysm = self.system
+        return self._add(f"restart:{server}",
+                         lambda: sysm.server_node(server).restart())
+
     def custom(self, label: str, fn: Callable[[], None]) -> "FaultInjector":
         """Queue an arbitrary action."""
         return self._add(label, fn)

@@ -47,6 +47,22 @@ def client_crash(system: StorageTankSystem, client: str = "c1",
     return inj
 
 
+def server_crash(system: StorageTankSystem, server: str = "server2",
+                 at: float = 5.0, restart_at: Optional[float] = None,
+                 ) -> FaultInjector:
+    """Hard metadata-server failure; optional restart.
+
+    Under a cluster the coordinator detects the death, moves the shard
+    to a survivor (takeover) and — if the server restarts — hands the
+    shard back (failback).  Without a cluster the shard is simply
+    unavailable until the restart's reassertion grace."""
+    inj = FaultInjector(system)
+    inj.at(at).crash_server(server)
+    if restart_at is not None:
+        inj.at(restart_at).restart_server(server)
+    return inj
+
+
 def san_partition(system: StorageTankSystem, client: str = "c1",
                   at: float = 5.0, heal_at: Optional[float] = None,
                   ) -> FaultInjector:

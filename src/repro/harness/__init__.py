@@ -31,6 +31,7 @@ from repro.harness.experiments import (
     experiment_e8_vlease_scaling,
     experiment_e9_protocol_comparison,
     experiment_e10_slow_client,
+    experiment_e11_cluster_takeover,
 )
 
 __all__ = [
@@ -50,4 +51,5 @@ __all__ = [
     "experiment_e8_vlease_scaling",
     "experiment_e9_protocol_comparison",
     "experiment_e10_slow_client",
+    "experiment_e11_cluster_takeover",
 ]

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import inspect
 import sys
 import time
 from typing import Any
@@ -36,6 +37,9 @@ def main(argv=None) -> int:
                         help="root random seed (default 0)")
     parser.add_argument("--markdown", metavar="FILE", default=None,
                         help="also write the tables to FILE as markdown")
+    parser.add_argument("--n-servers", type=int, default=None,
+                        help="metadata-cluster size, forwarded to the "
+                             "experiments that take one (e.g. e11)")
     parser.add_argument("--metrics-out", metavar="FILE", default=None,
                         help="write a repro.obs/1.0 metrics document "
                              "(registry snapshots, overhead series, spans) "
@@ -58,7 +62,12 @@ def main(argv=None) -> int:
     with scope:
         for name in names:
             started = time.time()
-            result = EXPERIMENTS[name](seed=args.seed)
+            fn = EXPERIMENTS[name]
+            kwargs = {"seed": args.seed}
+            if (args.n_servers is not None
+                    and "n_servers" in inspect.signature(fn).parameters):
+                kwargs["n_servers"] = args.n_servers
+            result = fn(**kwargs)
             tables = result if isinstance(result, list) else [result]
             for t in tables:
                 print()

@@ -10,7 +10,7 @@ history is one input of the offline consistency audit.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.locks.modes import LockMode, compatible, satisfies
 
@@ -187,6 +187,42 @@ class LockManager:
                     fn(client, obj)
         self._holders.clear()
         self._waiters.clear()
+
+    def export_holdings(self, objs: Iterable[int],
+                        ) -> List[Tuple[int, str, LockMode]]:
+        """Hand the live holdings on ``objs`` to another lock manager.
+
+        Used for graceful slot handoff (cluster failback/rebalancing):
+        an ownership *transfer*, not a release — holders keep their
+        locks at the new owner, so no release/steal history event is
+        recorded (the audit's open-interval reconstruction then covers
+        the whole handoff conservatively).  Waiters are dropped; their
+        clients' pending requests fail over and retry at the new owner.
+        Release listeners still fire so per-object bookkeeping (lease
+        pin tables) cleans up locally.
+        """
+        exported: List[Tuple[int, str, LockMode]] = []
+        for obj in objs:
+            holders = self._holders.pop(obj, None)
+            if holders:
+                for client, mode in holders.items():
+                    exported.append((obj, client, mode))
+                    for fn in self.release_listeners:
+                        fn(client, obj)
+            self._waiters.pop(obj, None)
+        return exported
+
+    def import_holdings(self, entries: Iterable[Tuple[int, str, LockMode]],
+                        ) -> None:
+        """Install holdings exported by another manager (slot handoff).
+
+        Each entry is recorded as an ordinary grant at the current time
+        — the new owner's audit trail starts where the old owner's
+        stopped."""
+        for obj, client, mode in entries:
+            if satisfies(self.mode_of(client, obj), mode):
+                continue
+            self._grant(client, obj, mode)
 
     def steal_one(self, client: str, obj: int) -> bool:
         """Stop honoring a single lock (V-lease per-object revocation)."""

@@ -5,6 +5,13 @@ The network itself only knows reachability (a directional blocked-pair
 set, so asymmetric partitions are expressible), delay and loss.  All
 protocol behaviour — retries, at-most-once execution, ACK/NACK, the
 hooks the lease protocol attaches to — lives in :class:`Endpoint`.
+
+The cluster control plane (:mod:`repro.cluster`) is an ordinary tenant
+of this transport: coordinator pings, shard-map pushes/fetches and
+slot-release handoffs are plain request/ACK exchanges (the
+``CLUSTER_*`` kinds in :mod:`repro.net.message`), so every failure
+mode expressible here — loss, delay, one-way partitions — applies to
+membership traffic exactly as it does to lease traffic.
 """
 
 from __future__ import annotations

@@ -56,6 +56,13 @@ class MsgKind:
     DATA_READ = "data.read"
     DATA_WRITE = "data.write"
 
+    # cluster control plane (repro.cluster): coordinator liveness pings,
+    # shard-map distribution, and graceful slot handoff for failback
+    CLUSTER_PING = "cluster.ping"
+    CLUSTER_MAP_FETCH = "cluster.map_fetch"
+    CLUSTER_MAP_UPDATE = "cluster.map_update"
+    CLUSTER_RELEASE = "cluster.release_slots"
+
     # transport
     ACK = "transport.ack"
     NACK = "transport.nack"

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Generator, List, Optional, Set, Tuple
 
+from repro.cluster.takeover import SlotOwnershipError
 from repro.lease.contract import LeaseContract
 from repro.lease.server_lease import ServerLeaseAuthority
 from repro.locks.manager import LockManager
@@ -96,6 +97,9 @@ class StorageTankServer:
         self.authority = authority_factory(self)
 
         self.recovery = RecoveryManager(self, grace=self.config.recovery_grace)
+        # Cluster shard role (ownership gating / takeover); attached by
+        # build_system when the installation runs with cluster membership.
+        self.cluster = None
         self.transactions = 0
         self.data_bytes_served = 0   # file data moved through this server (E1)
         self._fenced: Set[str] = set()
@@ -121,8 +125,26 @@ class StorageTankServer:
     # ------------------------------------------------------------------
     # plumbing
     # ------------------------------------------------------------------
+    def attach_cluster(self, role: Any) -> None:
+        """Install the shard role and its control-plane handlers.
+
+        The cluster kinds register on the raw endpoint (not through
+        ``_register``): coordinator traffic is not a client transaction —
+        it must bypass the ownership gate, the transaction counter and
+        epoch stamping."""
+        self.cluster = role
+        self.endpoint.register(MsgKind.CLUSTER_PING, role.h_ping)
+        self.endpoint.register(MsgKind.CLUSTER_MAP_UPDATE, role.h_map_update)
+        self.endpoint.register(MsgKind.CLUSTER_RELEASE, role.h_release)
+
     def _register(self, kind: str, fn: Callable[[Message], Any]) -> None:
         def wrapped(msg: Message):
+            if self.cluster is not None:
+                refusal = self.cluster.gate(msg)
+                if refusal is not None:
+                    # WRONG_OWNER / map-stale NACK: a routing refusal,
+                    # not a transaction (and never a lease NACK).
+                    return refusal
             self.transactions += 1
             if (self.config.unfence_on_rejoin and msg.src in self._fenced
                     and not self.authority.is_suspect(msg.src)):
@@ -163,6 +185,22 @@ class StorageTankServer:
     def restart(self) -> None:
         """Recover with a new epoch; clients will reassert locks."""
         self.recovery.restart()
+        if self.cluster is not None:
+            # The pre-crash shard map is stale: serve nothing until the
+            # coordinator's next map update says what we own.
+            self.cluster.on_restart()
+
+    def _meta_for_path(self, path: str) -> MetadataStore:
+        """The store serving a path (home-owner's store under a cluster)."""
+        if self.cluster is not None:
+            return self.cluster.store_for_path(path)
+        return self.metadata
+
+    def _meta_for_file(self, file_id: int) -> MetadataStore:
+        """The store serving a file id (decoded from its id base)."""
+        if self.cluster is not None:
+            return self.cluster.store_for_file(file_id)
+        return self.metadata
 
     # ------------------------------------------------------------------
     # steal & fence
@@ -216,6 +254,17 @@ class StorageTankServer:
         if waiter is not None:
             # Post-restart grace: reassertions claim their objects first.
             yield self.sim.process(waiter)
+        if self.cluster is not None:
+            cw = self.cluster.defer_fresh(obj)
+            if cw is not None:
+                # Takeover in progress on this object's slot: fresh
+                # acquisitions wait out the displaced-lease horizon and
+                # the reassertion grace window.
+                yield self.sim.process(cw)
+            if not self.cluster.owns_obj(obj):
+                # The slot moved away while we were parked (failback
+                # racing a deferred grant): refuse, client re-routes.
+                raise SlotOwnershipError("wrong_owner")
         granted, conflicts = self.locks.try_acquire(client, obj, mode)
         if granted:
             return mode
@@ -280,9 +329,12 @@ class StorageTankServer:
     def _h_create(self, msg: Message):
         path = msg.payload["path"]
         size = int(msg.payload.get("size", 0))
-        if self.metadata.exists(path):
+        store = self._meta_for_path(path)
+        if store.exists(path):
             return ("nack", {"error": "exists"})
-        ino = self.metadata.create_file(path, size, now=self.sim.now)
+        ino = store.create_file(path, size, now=self.sim.now)
+        if self.cluster is not None:
+            self.cluster.note_create(ino.file_id, path)
         return ("ack", {"file_id": ino.file_id,
                         "attrs": ino.attrs.to_payload(),
                         "extents": extents_to_payload(ino.extents)})
@@ -291,7 +343,7 @@ class StorageTankServer:
         path = msg.payload["path"]
         mode = msg.payload.get("mode", "r")
         try:
-            ino = self.metadata.lookup(path)
+            ino = self._meta_for_path(path).lookup(path)
         except NamespaceError as exc:
             return ("nack", {"error": str(exc)})
         if msg.payload.get("nolock"):
@@ -317,9 +369,11 @@ class StorageTankServer:
     def _h_getattr(self, msg: Message):
         try:
             if "path" in msg.payload:
-                ino = self.metadata.lookup(msg.payload["path"])
+                path = msg.payload["path"]
+                ino = self._meta_for_path(path).lookup(path)
             else:
-                ino = self.metadata.inode(int(msg.payload["file_id"]))
+                fid = int(msg.payload["file_id"])
+                ino = self._meta_for_file(fid).inode(fid)
         except (NamespaceError, KeyError) as exc:
             return ("nack", {"error": str(exc)})
         return ("ack", {"file_id": ino.file_id, "attrs": ino.attrs.to_payload()})
@@ -327,12 +381,13 @@ class StorageTankServer:
     def _h_setattr(self, msg: Message):
         file_id = int(msg.payload["file_id"])
         size = msg.payload.get("size")
+        store = self._meta_for_file(file_id)
         try:
             if size is not None:
-                ino = self.metadata.ensure_size(file_id, int(size), now=self.sim.now)
+                ino = store.ensure_size(file_id, int(size), now=self.sim.now)
             else:
-                ino = self.metadata.set_attrs(file_id, now=self.sim.now,
-                                              mode=msg.payload.get("mode"))
+                ino = store.set_attrs(file_id, now=self.sim.now,
+                                      mode=msg.payload.get("mode"))
         except NamespaceError as exc:
             return ("nack", {"error": str(exc)})
         return ("ack", {"attrs": ino.attrs.to_payload(),
@@ -340,7 +395,8 @@ class StorageTankServer:
 
     def _h_lookup(self, msg: Message):
         try:
-            ino = self.metadata.lookup(msg.payload["path"])
+            path = msg.payload["path"]
+            ino = self._meta_for_path(path).lookup(path)
         except NamespaceError as exc:
             return ("nack", {"error": str(exc)})
         return ("ack", {"file_id": ino.file_id})
@@ -350,8 +406,9 @@ class StorageTankServer:
         (demanding it from cachers), so no one holds stale pages when the
         extents are freed; the lock dies with the file."""
         path = msg.payload["path"]
+        store = self._meta_for_path(path)
         try:
-            ino = self.metadata.lookup(path)
+            ino = store.lookup(path)
         except NamespaceError as exc:
             return ("nack", {"error": str(exc)})
         fid = ino.file_id
@@ -359,7 +416,7 @@ class StorageTankServer:
         def run() -> Generator[Event, Any, Tuple[str, Dict[str, Any]]]:
             yield from self._grant_lock(msg.src, fid, LockMode.EXCLUSIVE)
             try:
-                self.metadata.unlink(path)
+                store.unlink(path)
             except NamespaceError as exc:
                 self.locks.release(msg.src, fid)
                 return ("nack", {"error": str(exc)})
@@ -368,9 +425,19 @@ class StorageTankServer:
         return run()
 
     def _h_readdir(self, msg: Message):
-        """List the entries directly under a directory prefix."""
+        """List the entries directly under a directory prefix.
+
+        Under a cluster only the slots this server *owns* are listed
+        (clients fan readdir out to every map owner and merge), so a
+        mid-handoff slot appears in exactly one server's answer."""
+        path = msg.payload.get("path", "/")
+        if self.cluster is not None:
+            try:
+                return ("ack", {"entries": self.cluster.list_entries(path)})
+            except NamespaceError as exc:
+                return ("nack", {"error": str(exc)})
         try:
-            entries = self.metadata.namespace.listdir(msg.payload.get("path", "/"))
+            entries = self.metadata.namespace.listdir(path)
         except NamespaceError as exc:
             return ("nack", {"error": str(exc)})
         return ("ack", {"entries": entries})
@@ -382,7 +449,7 @@ class StorageTankServer:
         def run() -> Generator[Event, Any, Tuple[str, Dict[str, Any]]]:
             granted = yield from self._grant_lock(msg.src, file_id, mode)
             try:
-                ino = self.metadata.inode(file_id)
+                ino = self._meta_for_file(file_id).inode(file_id)
                 extra = {"attrs": ino.attrs.to_payload(),
                          "extents": extents_to_payload(ino.extents)}
             except NamespaceError:
@@ -409,7 +476,7 @@ class StorageTankServer:
 
         def run() -> Generator[Event, Any, Tuple[str, Dict[str, Any]]]:
             try:
-                ino = self.metadata.inode(file_id)
+                ino = self._meta_for_file(file_id).inode(file_id)
                 device, lba = ino.extents.resolve(block)
             except (NamespaceError, IndexError) as exc:
                 return ("nack", {"error": str(exc)})
@@ -429,7 +496,7 @@ class StorageTankServer:
 
         def run() -> Generator[Event, Any, Tuple[str, Dict[str, Any]]]:
             try:
-                ino = self.metadata.inode(file_id)
+                ino = self._meta_for_file(file_id).inode(file_id)
                 device, lba = ino.extents.resolve(block)
             except (NamespaceError, IndexError) as exc:
                 return ("nack", {"error": str(exc)})
@@ -447,6 +514,12 @@ class StorageTankServer:
         mode = LockMode(int(msg.payload["mode"]))
 
         def run() -> Generator[Event, Any, Tuple[str, Dict[str, Any]]]:
+            if self.cluster is not None:
+                cw = self.cluster.defer_fresh(file_id)
+                if cw is not None:
+                    yield self.sim.process(cw)
+                if not self.cluster.owns_obj(file_id):
+                    raise SlotOwnershipError("wrong_owner")
             granted, conflicts = self.range_locks.try_acquire(
                 msg.src, file_id, rng, mode)
             if not granted:

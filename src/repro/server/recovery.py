@@ -108,9 +108,35 @@ class RecoveryManager:
         First-come wins: if two clients reassert conflicting locks (a
         steal raced the crash), the second is refused and must
         invalidate its cache for that object.
+
+        Under a cluster, reasserts also arrive at a *takeover* server
+        from clients the dead owner displaced.  They are admitted only
+        for slots this server owns, and during a takeover they park (as
+        deferred transactions) until the displaced-lease wait elapses —
+        granting earlier could overlap another displaced client's
+        still-valid lease.
         """
         obj = int(msg.payload["file_id"])
         mode = LockMode(int(msg.payload["mode"]))
+        cluster = self.server.cluster
+        if cluster is not None:
+            if not cluster.owns_obj(obj):
+                # Routing refusal, not a lease NACK: the client refetches
+                # the shard map and retries at the current owner.
+                return ("nack", {"error": "wrong_owner",
+                                 "map_epoch": cluster.map.epoch})
+            waiter = cluster.defer_reassert(obj)
+            if waiter is not None:
+                def run() -> Generator[Event, Any, Any]:
+                    yield self.server.sim.process(waiter)
+                    if not cluster.owns_obj(obj):
+                        return ("nack", {"error": "wrong_owner",
+                                         "map_epoch": cluster.map.epoch})
+                    return self._do_reassert(msg, obj, mode)
+                return run()
+        return self._do_reassert(msg, obj, mode)
+
+    def _do_reassert(self, msg: Message, obj: int, mode: LockMode):
         granted, conflicts = self.server.locks.try_acquire(msg.src, obj, mode)
         if granted:
             self.reasserted += 1

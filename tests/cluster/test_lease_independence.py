@@ -1,0 +1,55 @@
+"""Per-server lease independence in a multi-server installation.
+
+A client must hold a lease with *every* server it holds locks from
+(paper §3), and those leases are independent: losing contact with one
+server expires that server's lease only.  Cache entries covered by a
+still-valid lease with another server must survive.
+"""
+
+from repro.locks import LockMode
+from repro.storage import BLOCK_SIZE
+from tests.conftest import make_system, run_gen
+
+TAU, EPS = 30.0, 0.05
+
+
+def test_one_servers_expiry_spares_the_others_cache():
+    s = make_system(n_servers=2)   # static hash-sharding, no cluster
+    c1 = s.client("c1")
+    p1 = next(f"/ind/f{i}" for i in range(2000)
+              if c1.server_for_path(f"/ind/f{i}") == "server1")
+    p2 = next(f"/ind/f{i}" for i in range(2000)
+              if c1.server_for_path(f"/ind/f{i}") == "server2")
+    state = {}
+
+    def setup():
+        for key, path in (("f1", p1), ("f2", p2)):
+            fid = yield from c1.create(path, size=BLOCK_SIZE)
+            fd = yield from c1.open_file(path, "w")
+            yield from c1.write(fd, 0, BLOCK_SIZE)
+            yield from c1.flush(fd)
+            state[key] = fid
+            state[key + "_fd"] = fd
+    run_gen(s, setup())
+    fid1, fid2 = state["f1"], state["f2"]
+    assert c1.cache.peek(fid1, 0) is not None
+    assert c1.cache.peek(fid2, 0) is not None
+
+    # Cut c1 off from server1 only, long enough for that lease to expire.
+    s.control_net.block("c1", "server1")
+    s.control_net.block("server1", "c1")
+    s.run(until=s.sim.now + TAU * (1 + EPS) + 15.0)
+
+    # server1's lease died: its file's cache entries and lock are gone...
+    assert c1.cache.peek(fid1, 0) is None
+    assert c1.locks.mode_of(fid1) == LockMode.NONE
+    lost = s.trace.select(kind="client.lease_lost", node="c1")
+    assert any(r.detail.get("server") == "server1" for r in lost)
+    assert all(r.detail.get("server") != "server2" for r in lost)
+
+    # ...but server2's lease never lapsed, so its entries survive and
+    # the file remains readable from cache.
+    assert c1.cache.peek(fid2, 0) is not None
+    assert c1.locks.mode_of(fid2) != LockMode.NONE
+    res = run_gen(s, c1.read(state["f2_fd"], 0, BLOCK_SIZE))
+    assert res

@@ -37,3 +37,30 @@ def test_client_names_scale():
     cfg = SystemConfig(n_clients=5)
     assert len(cfg.client_names()) == 5
     assert cfg.client_names()[-1] == "c5"
+
+
+def test_multi_server_pins_protocol_message():
+    from repro.core import ClusterConfig
+    with pytest.raises(ValueError,
+                       match="multi-server installations are implemented "
+                             "for the storage_tank protocol only"):
+        SystemConfig(protocol="frangipani", n_servers=2)
+    # Validation order is part of the contract: a bad protocol name is
+    # reported before any multi-server/cluster complaint.
+    with pytest.raises(ValueError, match="unknown protocol"):
+        SystemConfig(protocol="carrier-pigeon", n_servers=2,
+                     cluster=ClusterConfig(enabled=True))
+
+
+def test_cluster_requires_storage_tank_and_two_servers():
+    from repro.core import ClusterConfig
+    with pytest.raises(ValueError,
+                       match="cluster membership is implemented for the "
+                             "storage_tank protocol only"):
+        SystemConfig(protocol="frangipani", n_servers=1,
+                     cluster=ClusterConfig(enabled=True))
+    with pytest.raises(ValueError,
+                       match="cluster membership needs n_servers >= 2"):
+        SystemConfig(n_servers=1, cluster=ClusterConfig(enabled=True))
+    # Enabled with a sane shape: builds fine.
+    SystemConfig(n_servers=2, cluster=ClusterConfig(enabled=True))
