@@ -1,0 +1,42 @@
+"""``repro.lint`` — protocol-invariant static analysis for the repro tree.
+
+The paper's safety argument (Theorem 3.1) rests on discipline the code
+must keep as it grows: the server is *passive* and holds no lease state,
+every node reads only its *own* rate-synchronized clock, and the client
+lease walks exactly four phases (Fig. 4).  This package enforces those
+invariants mechanically with AST-based rules:
+
+========  ==============================================================
+RPL001    determinism — no wall clock / ambient randomness in sim code
+RPL002    passive server — no lease timers or periodic lease messages
+          outside the delivery-error path (paper §3)
+RPL003    local clock only — no cross-node clock reads (Thm 3.1)
+RPL004    four-phase discipline — lease phase assigned only through the
+          transition table in ``repro.lease.phases`` (Fig. 4)
+RPL005    no ``==``/``!=`` on float simulation-time expressions
+RPL006    message-handler exhaustiveness against the ``MsgKind`` enum
+RPL007    no mutable default arguments
+========  ==============================================================
+
+Run it with ``python -m repro.lint <paths>``; configure it in
+``pyproject.toml`` under ``[tool.repro-lint]``; silence a single finding
+with ``# repro-lint: ignore[RPL001]`` on the offending line.
+"""
+
+from __future__ import annotations
+
+from repro.lint.config import LintConfig, load_config
+from repro.lint.engine import LintResult, lint_paths, lint_source
+from repro.lint.rules import RULES, Rule, Violation, rule
+
+__all__ = [
+    "LintConfig",
+    "LintResult",
+    "RULES",
+    "Rule",
+    "Violation",
+    "lint_paths",
+    "lint_source",
+    "load_config",
+    "rule",
+]
