@@ -181,6 +181,7 @@ class StorageTankClient:
             self.endpoint.nack_listeners.append(self._on_nack)
 
         # Server-initiated requests.
+        # repro-lint: handles[client-demands]
         self.endpoint.register(MsgKind.LOCK_DEMAND, self._on_lock_demand)
         # Range demands are liveness probes: holders release as part of
         # the operation itself, so acknowledging receipt is the protocol.
@@ -994,10 +995,9 @@ class StorageTankClient:
 
     def _reassert_one(self, obj: int, mode: LockMode, server: str,
                       retried: bool = False) -> Generator[Event, Any, None]:
-        from repro.server.recovery import LOCK_REASSERT
         self.reasserts_sent += 1
         try:
-            yield from self.endpoint.request(server, LOCK_REASSERT,
+            yield from self.endpoint.request(server, MsgKind.LOCK_REASSERT,
                                              {"file_id": obj,
                                               "mode": int(mode)})
             self.trace.emit(self.sim.now, "client.reasserted", self.name,

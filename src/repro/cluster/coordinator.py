@@ -53,7 +53,7 @@ class ClusterCoordinator:
     def __init__(self, sim: Simulator, net: ControlNetwork, name: str,
                  server_names: Sequence[str], clock: LocalClock,
                  config: "ClusterConfig", trace: TraceRecorder, obs: Any,
-                 client_names: Sequence[str] = ()):
+                 client_names: Sequence[str] = ()) -> None:
         self.sim = sim
         self.name = name
         self.config = config
@@ -66,6 +66,7 @@ class ClusterCoordinator:
             default_policy=RetryPolicy(timeout=config.ping_timeout,
                                        retries=config.ping_retries))
         self.endpoint.obs = obs
+        # repro-lint: handles[cluster-coordinator]
         self.endpoint.register(MsgKind.CLUSTER_MAP_FETCH, self._h_fetch)
 
         self.map = ShardMap.initial(self.server_names, config.n_slots)

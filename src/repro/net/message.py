@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 
 class MsgKind:
@@ -63,10 +63,47 @@ class MsgKind:
     CLUSTER_MAP_UPDATE = "cluster.map_update"
     CLUSTER_RELEASE = "cluster.release_slots"
 
+    # server crash recovery (§6): client re-presents a lock it held
+    # before the server's epoch changed
+    LOCK_REASSERT = "lock.reassert"
+
     # transport
     ACK = "transport.ack"
     NACK = "transport.nack"
     RESULT = "transport.result"   # final outcome of a deferred transaction
+
+
+#: The handler-group partition of the vocabulary.  Every ``MsgKind``
+#: constant must appear in exactly one group (lint rule RPL006 enforces
+#: this), and a dispatcher module declares the groups it implements with
+#: a ``# repro-lint: handles[...]`` comment — adding a kind here without
+#: registering its handler then fails static analysis instead of
+#: surfacing as a silently dropped datagram at run time.
+KIND_GROUPS: Dict[str, Tuple[str, ...]] = {
+    # the metadata server's client-transaction surface
+    "fs-core": (MsgKind.OPEN, MsgKind.CLOSE, MsgKind.GETATTR,
+                MsgKind.SETATTR, MsgKind.CREATE, MsgKind.LOOKUP,
+                MsgKind.UNLINK, MsgKind.READDIR),
+    "fs-alloc": (MsgKind.ALLOC,),            # reserved; no dispatcher yet
+    "locking": (MsgKind.LOCK_ACQUIRE, MsgKind.LOCK_RELEASE,
+                MsgKind.LOCK_DOWNGRADE),
+    "byte-range": (MsgKind.RANGE_ACQUIRE, MsgKind.RANGE_RELEASE),
+    "lease-null": (MsgKind.KEEPALIVE,),
+    "data-ship": (MsgKind.DATA_READ, MsgKind.DATA_WRITE),
+    "recovery": (MsgKind.LOCK_REASSERT,),
+    # client-side callbacks (server-initiated demands)
+    "client-demands": (MsgKind.LOCK_DEMAND, MsgKind.RANGE_DEMAND,
+                       MsgKind.CACHE_INVALIDATE),
+    # baseline protocols (§4-§5 comparisons)
+    "lease-baselines": (MsgKind.LEASE_RENEW, MsgKind.HEARTBEAT),
+    "nfs-baseline": (MsgKind.POLL_MTIME, MsgKind.NFS_READ, MsgKind.NFS_WRITE),
+    # cluster control plane
+    "cluster-owner": (MsgKind.CLUSTER_PING, MsgKind.CLUSTER_MAP_UPDATE,
+                      MsgKind.CLUSTER_RELEASE),
+    "cluster-coordinator": (MsgKind.CLUSTER_MAP_FETCH,),
+    # transport frames are consumed by the endpoint itself
+    "transport": (MsgKind.ACK, MsgKind.NACK, MsgKind.RESULT),
+}
 
 
 _msg_counter = itertools.count(1)
@@ -112,7 +149,7 @@ class Ack(Message):
     """Positive acknowledgment carrying the transaction reply payload."""
 
     def __init__(self, src: str, dst: str, reply_to: int,
-                 payload: Optional[Dict[str, Any]] = None):
+                 payload: Optional[Dict[str, Any]] = None) -> None:
         super().__init__(src=src, dst=dst, kind=MsgKind.ACK,
                          payload=payload or {}, reply_to=reply_to)
 
@@ -123,7 +160,7 @@ class Nack(Message):
     is invalid; I will not renew your lease"."""
 
     def __init__(self, src: str, dst: str, reply_to: int,
-                 payload: Optional[Dict[str, Any]] = None):
+                 payload: Optional[Dict[str, Any]] = None) -> None:
         super().__init__(src=src, dst=dst, kind=MsgKind.NACK,
                          payload=payload or {}, reply_to=reply_to)
 
@@ -131,7 +168,7 @@ class Nack(Message):
 class DeliveryError(Exception):
     """Raised to the sender when all retries of a request went unanswered."""
 
-    def __init__(self, msg: Message, attempts: int):
+    def __init__(self, msg: Message, attempts: int) -> None:
         super().__init__(f"no reply to {msg.kind} {msg.src}->{msg.dst} after {attempts} attempts")
         self.msg = msg
         self.attempts = attempts
@@ -140,7 +177,7 @@ class DeliveryError(Exception):
 class NackError(Exception):
     """Raised to the sender when the receiver answered with a NACK."""
 
-    def __init__(self, msg: Message, nack: Message):
+    def __init__(self, msg: Message, nack: Message) -> None:
         super().__init__(f"{msg.kind} {msg.src}->{msg.dst} was NACKed")
         self.msg = msg
         self.nack = nack

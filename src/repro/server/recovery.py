@@ -27,9 +27,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.server.node import StorageTankServer
 
 #: Message kind for re-claiming a lock after a server restart.
-LOCK_REASSERT = "lock.reassert"
+#: (Back-compat alias: the kind now lives in the MsgKind vocabulary.)
+LOCK_REASSERT = MsgKind.LOCK_REASSERT
 
 
+# repro-lint: handles[recovery]
 class RecoveryManager:
     """Epoch tracking + the post-restart grace window for one server."""
 
@@ -43,7 +45,7 @@ class RecoveryManager:
         self.restarts = 0
         self._outage_span = None
         self._recovery_span = None
-        server.endpoint.register(LOCK_REASSERT, self._h_reassert)
+        server.endpoint.register(MsgKind.LOCK_REASSERT, self._h_reassert)
 
     # -- state ------------------------------------------------------------
     @property
