@@ -11,14 +11,17 @@ reacts to a NACK by jumping straight to the suspect phase (§3.3).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Generator, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Generator, Optional
 
 from repro.lease.contract import LeaseContract
-from repro.lease.phases import LeasePhase
+from repro.lease.phases import LeasePhase, transition
 from repro.net.control import Endpoint
 from repro.sim.events import Event
 from repro.sim.kernel import Simulator
 from repro.sim.trace import TraceRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - import only for annotations
+    from repro.obs import Observability
 
 
 def _noop() -> None:
@@ -50,7 +53,7 @@ class ClientLeaseManager:
                  callbacks: Optional[LeaseCallbacks] = None,
                  trace: Optional[TraceRecorder] = None,
                  probe_interval_local: Optional[float] = None,
-                 obs=None):
+                 obs: Optional["Observability"] = None) -> None:
         self.sim = sim
         self.endpoint = endpoint
         self.server = server
@@ -186,6 +189,7 @@ class ClientLeaseManager:
     def _run(self) -> Generator[Event, object, None]:
         b = self.contract.boundaries
         announced: Optional[LeasePhase] = None
+        renewals_seen = 0
         while True:
             if not self._active:
                 if self._last_phase != LeasePhase.EXPIRED:
@@ -202,6 +206,12 @@ class ClientLeaseManager:
 
             phase = self.phase()
             if phase != announced:
+                # Every announced change must follow an edge of Fig. 4:
+                # forward through the interval on time alone, anywhere on
+                # a renewal (RPL004's transition table, enforced live).
+                transition(announced if announced is not None
+                           else LeasePhase.EXPIRED, phase,
+                           renewed=self.renewals > renewals_seen)
                 self._note_phase(phase)
                 self.trace.emit(self.sim.now, "lease.phase", self.endpoint.name,
                                 server=self.server, phase=int(phase))
@@ -217,6 +227,7 @@ class ClientLeaseManager:
                         LeasePhase.SUSPECT, LeasePhase.FLUSH):
                     self.callbacks.on_resume_service()
                 announced = phase
+            renewals_seen = self.renewals
 
             assert self._lease_start_local is not None
             now_local = self.endpoint.local_now()
