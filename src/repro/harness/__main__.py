@@ -15,11 +15,11 @@ import argparse
 import contextlib
 import inspect
 import sys
-import time
 from typing import Any
 
 from repro.analysis.report import Table
 from repro.harness.ablations import ABLATIONS
+from repro.harness.common import wall_timer
 from repro.harness.experiments import EXPERIMENTS as _EXPERIMENTS
 from repro.obs import runlog
 
@@ -61,7 +61,7 @@ def main(argv=None) -> int:
     md_chunks = []
     with scope:
         for name in names:
-            started = time.time()
+            elapsed = wall_timer()
             fn = EXPERIMENTS[name]
             kwargs = {"seed": args.seed}
             if (args.n_servers is not None
@@ -73,7 +73,7 @@ def main(argv=None) -> int:
                 print()
                 print(t)
                 md_chunks.append(table_to_markdown(t))
-            print(f"\n[{name} completed in {time.time() - started:.1f}s wall]")
+            print(f"\n[{name} completed in {elapsed():.1f}s wall]")
     if collector is not None:
         collector.export(args.metrics_out)
         print(f"\n[metrics written to {args.metrics_out}]")

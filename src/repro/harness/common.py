@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Generator, List, Optional
+from typing import Any, Callable, Dict, Generator, List, Optional
 
 from repro.client.node import (
     ClientDisconnectedError,
@@ -18,6 +18,21 @@ from repro.storage.blockmap import BLOCK_SIZE
 
 APP_ERRORS = (ClientQuiescedError, ClientDisconnectedError,
               ClientIOError, DeliveryError, NackError)
+
+
+def wall_timer() -> Callable[[], float]:
+    """Start a wall-clock stopwatch; returns an elapsed-seconds reader.
+
+    This is the repo's **single allowlisted wall-clock site** (lint rule
+    RPL001).  The policy it documents: everything inside the simulation
+    measures time on ``sim.clock`` / ``sim.now`` so runs are
+    deterministic and comparable; only the harness may consult the wall,
+    and only to report how long an experiment took to compute — a number
+    that never feeds back into any simulated decision.
+    """
+    import time  # local import: keeps the wall clock out of module scope
+    start = time.perf_counter()
+    return lambda: time.perf_counter() - start
 
 
 @dataclass
