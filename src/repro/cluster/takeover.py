@@ -90,7 +90,7 @@ class ServerShardRole:
     """Cluster-mode behaviour of one metadata server."""
 
     def __init__(self, server: "StorageTankServer", shard_map: ShardMap,
-                 grace: float, map_lease: float):
+                 grace: float, map_lease: float) -> None:
         self.server = server
         self.initial_map = shard_map
         self.map = shard_map

@@ -57,7 +57,7 @@ class ServerLeaseAuthority(SafetyAuthority):
                  trace: Optional[TraceRecorder] = None,
                  nack_suspects: bool = True,
                  ack_while_expiring: bool = False,
-                 obs: Optional[Observability] = None):
+                 obs: Optional[Observability] = None) -> None:
         """``on_steal(client)`` runs when a suspect timer fires; the server
         node uses it to steal locks and construct fences.
 

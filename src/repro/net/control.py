@@ -17,7 +17,8 @@ membership traffic exactly as it does to lease traffic.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Generator, List, Optional, Set, Tuple
+from typing import (TYPE_CHECKING, Any, Callable, Dict, Generator, List,
+                    Optional, Set, Tuple)
 
 from repro.net.message import (
     Ack,
@@ -28,10 +29,14 @@ from repro.net.message import (
     NackError,
 )
 from repro.sim.clock import LocalClock
-from repro.sim.events import Event
+from repro.sim.events import Event, Timeout
 from repro.sim.kernel import Simulator
 from repro.sim.rng import RandomStreams
 from repro.sim.trace import TraceRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - import only for annotations
+    from repro.obs import Observability
+    from repro.obs.spans import Span
 
 # A request handler may return a decision tuple directly, or a generator
 # that the endpoint runs as a process and whose return value is the
@@ -70,7 +75,7 @@ class ControlNetwork:
     def __init__(self, sim: Simulator, streams: RandomStreams,
                  trace: Optional[TraceRecorder] = None,
                  base_delay: float = 0.001, jitter: float = 0.0005,
-                 drop_probability: float = 0.0):
+                 drop_probability: float = 0.0) -> None:
         self.sim = sim
         self.trace = trace if trace is not None else TraceRecorder(enabled=False)
         self.base_delay = base_delay
@@ -83,7 +88,7 @@ class ControlNetwork:
         self.dropped_count = 0
         self.bytes_delivered = 0
 
-    def bind_obs(self, obs) -> None:
+    def bind_obs(self, obs: "Observability") -> None:
         """Mirror the fabric counters into a metrics registry.
 
         Uses callback gauges so the registry samples the live counters
@@ -170,7 +175,8 @@ class ControlNetwork:
             return
         delay = self._delay()
 
-        def deliver(_ev: Event, target=target, msg=msg) -> None:
+        def deliver(_ev: Event, target: "Endpoint" = target,
+                    msg: Message = msg) -> None:
             # A partition may have formed while the datagram was in flight;
             # model cut links by re-checking at delivery time.
             if not self.reachable(msg.src, msg.dst) or not target.alive:
@@ -210,7 +216,7 @@ class Endpoint:
     def __init__(self, sim: Simulator, net: ControlNetwork, name: str,
                  clock: LocalClock, trace: Optional[TraceRecorder] = None,
                  default_policy: Optional[RetryPolicy] = None,
-                 dedup_capacity: int = 4096):
+                 dedup_capacity: int = 4096) -> None:
         self.sim = sim
         self.net = net
         self.name = name
@@ -279,7 +285,8 @@ class Endpoint:
         """This node's local-clock reading."""
         return self.clock.local_time(self.sim.now)
 
-    def local_timeout(self, local_interval: float, value: Any = None):
+    def local_timeout(self, local_interval: float,
+                      value: Any = None) -> Timeout:
         """A timeout measured on this node's local clock."""
         return self.sim.timeout(self.clock.to_global_interval(local_interval), value)
 
@@ -370,7 +377,8 @@ class Endpoint:
             for mid in attempt_ids:
                 self._pending.pop(mid, None)
 
-    def _rpc_done(self, span, kind: str, t0: float, status: str) -> None:
+    def _rpc_done(self, span: Optional["Span"], kind: str, t0: float,
+                  status: str) -> None:
         """Close a round-trip span and record its latency histogram."""
         if self.obs is None:
             return
@@ -539,7 +547,7 @@ class Endpoint:
         self.send_datagram(Ack(self.name, msg.src, msg.msg_id))
 
     def _run_deferred(self, key: Tuple[str, int], msg: Message, ticket: int,
-                      gen) -> Generator[Event, Any, None]:
+                      gen: Generator[Event, Any, Any]) -> Generator[Event, Any, None]:
         proc = self.sim.process(gen, name=f"{self.name}:handler:{msg.kind}")
         try:
             result = yield proc
@@ -578,7 +586,8 @@ class Endpoint:
         else:
             raise ValueError(f"unknown handler decision {decision!r}")
 
-    def _remember(self, key: Tuple[str, int], entry) -> None:
+    def _remember(self, key: Tuple[str, int],
+                  entry: Tuple[str, Any, Any]) -> None:
         if key not in self._executed:
             self._executed_order.append(key)
             if len(self._executed_order) > self._dedup_capacity:

@@ -10,7 +10,8 @@ clients' views and both clients are in the disk's view, yet
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (Any, Dict, FrozenSet, Iterable, List, Optional,
+                    Sequence, Set, Tuple)
 
 
 class _Reachability:
@@ -73,7 +74,7 @@ class PartitionController:
     and :class:`~repro.net.san.SanFabric` qualify).
     """
 
-    def __init__(self, network) -> None:
+    def __init__(self, network: Any) -> None:
         self.net = network
 
     def isolate(self, node: str, peers: Optional[Iterable[str]] = None) -> None:

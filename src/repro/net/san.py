@@ -12,7 +12,7 @@ Device-level fencing lives on the disks themselves
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Generator, List, Optional, Set, Tuple
 
 from repro.sim.events import Event
 from repro.sim.kernel import Simulator
@@ -20,6 +20,9 @@ from repro.sim.rng import RandomStreams
 from repro.sim.trace import TraceRecorder
 from repro.storage.blockmap import BLOCK_SIZE
 from repro.storage.disk import DiskReadResult, FencedIoError, VirtualDisk
+
+if TYPE_CHECKING:  # pragma: no cover - import only for annotations
+    from repro.obs import Observability
 
 # Re-exported under the transport-flavoured name used by callers.
 FencedError = FencedIoError
@@ -29,7 +32,7 @@ class SanUnreachableError(Exception):
     """The fabric cannot route between initiator and device (SAN partition
     or fabric-level fence)."""
 
-    def __init__(self, initiator: str, device: str):
+    def __init__(self, initiator: str, device: str) -> None:
         super().__init__(f"SAN path {initiator} -> {device} unavailable")
         self.initiator = initiator
         self.device = device
@@ -42,7 +45,7 @@ class SanFabric:
                  trace: Optional[TraceRecorder] = None,
                  base_latency: float = 0.0005,
                  per_block_latency: float = 0.00005,
-                 per_device_queueing: bool = False):
+                 per_device_queueing: bool = False) -> None:
         """``per_device_queueing=True`` serializes commands at each
         device (single-server queue): concurrent I/O to one disk waits
         its turn, which is what makes the disk — not the metadata
@@ -63,7 +66,7 @@ class SanFabric:
         self.bytes_written = 0
         self.io_count = 0
 
-    def bind_obs(self, obs) -> None:
+    def bind_obs(self, obs: "Observability") -> None:
         """Mirror the fabric counters into a metrics registry.
 
         Callback gauges sample the live counters at read time, keeping

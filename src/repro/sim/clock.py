@@ -22,7 +22,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import only for annotations
+    import numpy as np
 
 from repro.sim.rng import RandomStreams
 
@@ -85,7 +88,7 @@ class ClockEnsemble:
     """
 
     def __init__(self, epsilon: float, streams: Optional[RandomStreams] = None,
-                 max_offset: float = 1000.0):
+                 max_offset: float = 1000.0) -> None:
         if epsilon < 0:
             raise ValueError(f"epsilon must be non-negative, got {epsilon}")
         self.epsilon = epsilon
@@ -98,7 +101,7 @@ class ClockEnsemble:
         """All clocks created so far, by node name."""
         return dict(self._clocks)
 
-    def _rng(self):
+    def _rng(self) -> "np.random.Generator":
         if self._streams is None:
             raise ValueError("ClockEnsemble needs RandomStreams for random clocks")
         return self._streams.get("clock")

@@ -27,7 +27,7 @@ class Interrupt(Exception):
     abort in-flight retries when a lease transitions phase).
     """
 
-    def __init__(self, cause: Any = None):
+    def __init__(self, cause: Any = None) -> None:
         super().__init__(cause)
         self.cause = cause
 
@@ -42,7 +42,7 @@ class Event:
 
     __slots__ = ("sim", "callbacks", "_value", "_exc", "_triggered", "_processed", "_defused")
 
-    def __init__(self, sim: "Simulator"):
+    def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
         self.callbacks: Optional[List[Callable[["Event"], None]]] = []
         self._value: Any = None
@@ -129,7 +129,7 @@ class Timeout(Event):
 
     __slots__ = ("delay",)
 
-    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay {delay!r}")
         super().__init__(sim)
@@ -144,7 +144,7 @@ class _Condition(Event):
 
     __slots__ = ("events", "_count")
 
-    def __init__(self, sim: "Simulator", events: Sequence[Event]):
+    def __init__(self, sim: "Simulator", events: Sequence[Event]) -> None:
         super().__init__(sim)
         self.events = list(events)
         self._count = 0

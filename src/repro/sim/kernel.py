@@ -19,7 +19,7 @@ from repro.sim.process import Process, ProcessGenerator
 class Simulator:
     """Discrete-event simulator with a float timeline in seconds."""
 
-    def __init__(self, start_time: float = 0.0):
+    def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
         self._heap: List[Tuple[float, int, int, Event]] = []
         self._seq = 0

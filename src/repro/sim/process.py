@@ -28,7 +28,7 @@ class Process(Event):
 
     __slots__ = ("gen", "name", "_target", "_alive")
 
-    def __init__(self, sim: "Simulator", gen: ProcessGenerator, name: Optional[str] = None):
+    def __init__(self, sim: "Simulator", gen: ProcessGenerator, name: Optional[str] = None) -> None:
         super().__init__(sim)
         if not hasattr(gen, "send") or not hasattr(gen, "throw"):
             raise TypeError(f"Process requires a generator, got {type(gen).__name__}")

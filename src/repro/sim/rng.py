@@ -17,7 +17,7 @@ import numpy as np
 class RandomStreams:
     """Lazily-created named ``numpy`` generators from one root seed."""
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0) -> None:
         self.seed = int(seed)
         self._root = np.random.SeedSequence(self.seed)
         self._streams: Dict[str, np.random.Generator] = {}

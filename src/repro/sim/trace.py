@@ -34,7 +34,7 @@ class TraceRecord:
 class TraceRecorder:
     """Append-only trace with cheap filtered views and counters."""
 
-    def __init__(self, enabled: bool = True, keep_kinds: Optional[List[str]] = None):
+    def __init__(self, enabled: bool = True, keep_kinds: Optional[List[str]] = None) -> None:
         self.enabled = enabled
         self._records: List[TraceRecord] = []
         self._counts: Dict[str, int] = {}
