@@ -1,0 +1,1 @@
+"""Tests for the repro.lint protocol-invariant static analyzer."""

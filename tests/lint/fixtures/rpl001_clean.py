@@ -1,0 +1,7 @@
+"""Fixture: sim-clock discipline (RPL001 silent)."""
+
+
+def stamp_run(sim, rng):
+    started = sim.now
+    jitter = rng.uniform(0.0, 1.0)
+    return started, jitter

@@ -1,0 +1,11 @@
+"""Fixture: wall-clock reads and ambient randomness (RPL001 fires)."""
+import random
+import time
+from datetime import datetime
+
+
+def stamp_run():
+    started = time.time()
+    label = datetime.now().isoformat()
+    jitter = random.random()
+    return started, label, jitter

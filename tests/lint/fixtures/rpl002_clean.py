@@ -1,0 +1,13 @@
+"""Fixture: lease work confined to the delivery-error path (RPL002 silent)."""
+
+
+class Server:
+    def __init__(self, sim, endpoint):
+        self.sim = sim
+        self.endpoint = endpoint
+
+    def mark_suspect(self, client):
+        self.sim.process(self._suspect_timer(client), name=f"suspect-timer:{client}")
+
+    def _suspect_timer(self, client):
+        yield self.sim.timeout(1.0)

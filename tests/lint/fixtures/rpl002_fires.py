@@ -1,0 +1,16 @@
+"""Fixture: server-side lease timer and lease send (RPL002 fires)."""
+
+
+class Server:
+    def __init__(self, sim, endpoint):
+        self.sim = sim
+        self.endpoint = endpoint
+
+    def start(self, client):
+        self.sim.process(self._lease_timer(client), name=f"lease-timer:{client}")
+
+    def nag(self, client):
+        self.endpoint.send(MsgKind.KEEPALIVE, dst=client)
+
+    def _lease_timer(self, client):
+        yield self.sim.timeout(1.0)

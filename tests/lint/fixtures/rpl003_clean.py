@@ -1,0 +1,12 @@
+"""Fixture: strictly local clock reads (RPL003 silent)."""
+
+
+class Protocol:
+    def __init__(self, endpoint):
+        self.endpoint = endpoint
+        self.clock = None
+
+    def local(self):
+        t = self.endpoint.local_now()
+        u = self.clock
+        return t, u

@@ -1,0 +1,8 @@
+"""Fixture: phase writes routed through the table (RPL004 silent)."""
+
+from repro.lease.phases import transition
+
+
+class Lease:
+    def advance(self, target):
+        self.phase = transition(self.phase, target)

@@ -1,0 +1,9 @@
+"""Fixture: direct lease-phase assignment (RPL004 fires)."""
+
+
+class Lease:
+    def force(self, phase):
+        self.phase = phase
+
+    def bump(self):
+        self.lease_phase += 1

@@ -1,0 +1,9 @@
+"""Fixture: ordered / tolerance time comparisons (RPL005 silent)."""
+
+
+def expired(endpoint, deadline):
+    return endpoint.local_now() >= deadline
+
+
+def unset(deadline):
+    return deadline is None or deadline == 0

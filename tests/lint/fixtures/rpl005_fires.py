@@ -1,0 +1,9 @@
+"""Fixture: exact float equality on times (RPL005 fires)."""
+
+
+def expired(endpoint, deadline):
+    return endpoint.local_now() == deadline
+
+
+def same_time(t0, t1):
+    return t0 != t1

@@ -1,0 +1,10 @@
+"""Fixture: declared handler group fully covered (RPL006 silent)."""
+
+
+class Node:
+    # repro-lint: handles[lease-null]
+    def wire(self, endpoint):
+        endpoint.register(MsgKind.KEEPALIVE, self._h_keepalive)
+
+    def _h_keepalive(self, msg):
+        return "ack"

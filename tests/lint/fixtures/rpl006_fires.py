@@ -1,0 +1,10 @@
+"""Fixture: declared handler group left uncovered (RPL006 fires)."""
+
+
+class Node:
+    # repro-lint: handles[locking, no-such-group]
+    def wire(self, endpoint):
+        endpoint.register(MsgKind.LOCK_ACQUIRE, self._h_acquire)
+
+    def _h_acquire(self, msg):
+        return "ack"

@@ -1,0 +1,5 @@
+"""Fixture: None-sentinel defaults (RPL007 silent)."""
+
+
+def run(steps=None, options=None):
+    return steps or [], options or {}

@@ -1,0 +1,9 @@
+"""Fixture: mutable default arguments (RPL007 fires)."""
+
+
+def run(steps=[], options={}):
+    return steps, options
+
+
+def build(tags=set(), queue=dict()):
+    return tags, queue

@@ -1,0 +1,9 @@
+"""Fixture: inline and file-level suppressions."""
+
+
+def expired(endpoint, deadline):
+    return endpoint.local_now() == deadline  # repro-lint: ignore[RPL005]
+
+
+def still_fires(t0, t1):
+    return t0 == t1

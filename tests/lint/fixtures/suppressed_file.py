@@ -1,0 +1,10 @@
+"""Fixture: whole-file suppression."""
+# repro-lint: ignore-file[RPL005]
+
+
+def expired(endpoint, deadline):
+    return endpoint.local_now() == deadline
+
+
+def also_quiet(t0, t1):
+    return t0 == t1

@@ -1,0 +1,47 @@
+"""The linter must self-host: zero findings on the repo's own tree."""
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_paths, load_config
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_lint_clean_on_own_source_tree():
+    config = load_config(explicit=REPO_ROOT / "pyproject.toml")
+    result = lint_paths([REPO_ROOT / "src"], config=config)
+    assert result.files_checked > 50
+    assert result.errors == []
+    assert result.violations == [], "\n".join(
+        v.format() for v in result.violations)
+
+
+def test_lint_clean_on_own_tests():
+    config = load_config(explicit=REPO_ROOT / "pyproject.toml")
+    result = lint_paths([REPO_ROOT / "tests"], config=config)
+    assert result.errors == []
+    assert result.violations == [], "\n".join(
+        v.format() for v in result.violations)
+
+
+def test_cli_self_run_exits_zero():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.lint", "src", "tests"],
+        cwd=REPO_ROOT, capture_output=True, text=True,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"})
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 violation(s)" in proc.stdout
+
+
+@pytest.mark.skipif(shutil.which("mypy") is None,
+                    reason="mypy not installed in this environment")
+def test_mypy_strict_core_packages():
+    proc = subprocess.run(
+        ["mypy", "--config-file", str(REPO_ROOT / "pyproject.toml")],
+        cwd=REPO_ROOT, capture_output=True, text=True)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
