@@ -133,6 +133,13 @@ class StorageTankClient:
         self._file_inflight: Dict[int, int] = {}
         self._file_drain_evs: Dict[int, Event] = {}
         self._revoking: set = set()
+        # A reply that carries a lock mode (OPEN, LOCK_ACQUIRE) reflects
+        # server state at *execution* time, not delivery time.  Under
+        # message loss the at-most-once layer re-delivers cached replies
+        # arbitrarily late, so a grant executed before a demand-driven
+        # release can arrive after it — and must not resurrect the lock.
+        # sim-time of the last revocation, per file.
+        self._lock_revoked_at: Dict[int, float] = {}
 
         # Application-visible counters.
         self.ops_completed = 0
@@ -230,6 +237,7 @@ class StorageTankClient:
         yield from self._admit(srv)
         self._enter()
         try:
+            sent_at = self.sim.now
             reply = yield from self._rpc(MsgKind.OPEN,
                                          {"path": path, "mode": mode}, srv,
                                          route=("path", path))
@@ -239,9 +247,16 @@ class StorageTankClient:
             lock = LockMode(int(p["lock"]))
             fid = int(p["file_id"])
             self._note_file_owner(fid, path)
-            self.locks.note_granted(fid, lock)
-            of = self.fds.install(path, fid, mode, attrs, extents, lock,
+            stale_grant = self._lock_reply_stale(fid, sent_at)
+            if not stale_grant:
+                self.locks.note_granted(fid, lock)
+            of = self.fds.install(path, fid, mode, attrs, extents,
+                                  LockMode.NONE if stale_grant else lock,
                                   server=self._file_server[fid])
+            if stale_grant:
+                # The lock was revoked while the open was in flight; the
+                # first operation revalidates via a fresh acquire.
+                of.stale = True
             self.ops_completed += 1
             return of.fd
         finally:
@@ -753,6 +768,17 @@ class StorageTankClient:
                 self._file_drain_evs[file_id] = ev
             yield ev
 
+    def _note_lock_revoked(self, file_id: int) -> None:
+        """Record that this client gave up (or lost) the file's lock now."""
+        self._lock_revoked_at[file_id] = self.sim.now
+
+    def _lock_reply_stale(self, file_id: int, sent_at: float) -> bool:
+        """True if a lock mode in a reply to a request sent at ``sent_at``
+        must be discarded: the lock was (or is being) revoked since the
+        request left, so the grant describes a lock we no longer hold."""
+        return (file_id in self._revoking
+                or self._lock_revoked_at.get(file_id, -1.0) >= sent_at)
+
     def _ensure_lock(self, of: OpenFile, mode: LockMode,
                      ) -> Generator[Event, Any, None]:
         """Make sure the open instance is covered by ``mode``.
@@ -761,16 +787,27 @@ class StorageTankClient:
         operations must not ride the dying lock: they go to the server,
         whose waiter queue serializes them behind the revocation.
         """
-        while of.file_id in self._revoking:
-            yield self.sim.timeout(0.01)
-        wanted = max(mode, of.wanted_lock) if not of.stale else of.wanted_lock
-        if not of.stale and self.locks.covers(of.file_id, mode):
-            if of.lock < mode:
-                of.lock = self.locks.mode_of(of.file_id)
-            return
-        reply = yield from self._rpc(MsgKind.LOCK_ACQUIRE,
-                                     {"file_id": of.file_id, "mode": int(wanted)},
-                                     of.server, route=("file", of.file_id))
+        while True:
+            while of.file_id in self._revoking:
+                yield self.sim.timeout(0.01)
+            wanted = max(mode, of.wanted_lock) if not of.stale \
+                else of.wanted_lock
+            if not of.stale and self.locks.covers(of.file_id, mode):
+                if of.lock < mode:
+                    of.lock = self.locks.mode_of(of.file_id)
+                return
+            sent_at = self.sim.now
+            reply = yield from self._rpc(MsgKind.LOCK_ACQUIRE,
+                                         {"file_id": of.file_id,
+                                          "mode": int(wanted)},
+                                         of.server, route=("file", of.file_id))
+            if not self._lock_reply_stale(of.file_id, sent_at):
+                break
+            # The grant was revoked while the reply was in flight (e.g.
+            # a demand compliance released it): discard and re-acquire
+            # against the server's current state.
+            self.cache.invalidate_file(of.file_id)
+            of.stale = True
         granted = LockMode(int(reply.payload["mode"]))
         self.locks.note_granted(of.file_id, granted)
         # Revalidation after staleness: cached pages may be outdated.
@@ -942,6 +979,8 @@ class StorageTankClient:
         multi-server installation, or everything otherwise."""
         if server is None or len(self.servers) == 1:
             dropped = self.cache.invalidate_all()
+            for fid, _mode in self.locks.all_held():
+                self._note_lock_revoked(fid)
             self.locks.drop_all()
             self.fds.mark_all_stale()
             self._attr_cache.clear()
@@ -950,6 +989,7 @@ class StorageTankClient:
             fids = self._files_of_server(server)
             for fid in fids:
                 dropped.extend(self.cache.invalidate_file(fid))
+                self._note_lock_revoked(fid)
                 self.locks.note_released(fid)
             self.fds.mark_stale_for(fids)
         for p in dropped:
@@ -960,7 +1000,8 @@ class StorageTankClient:
                             file_id=p.file_id, tag=p.tag, reason="lease_expired")
         self.trace.emit(self.sim.now, "client.lease_lost", self.name,
                         server=server or self.server,
-                        dirty_dropped=len(dropped))
+                        dirty_dropped=len(dropped),
+                        in_flight=self._in_flight)
 
     # -- §6 server recovery: lock reassertion ---------------------------------
     def _on_epoch(self, msg: Message, _t_send: float) -> None:
@@ -985,13 +1026,30 @@ class StorageTankClient:
         A refused reassertion (someone else claimed the object first)
         forfeits the lock and invalidates that file's cache.
         """
-        for obj, mode in self.locks.all_held():
-            if self.server_for_file(obj) != server:
-                continue
+        pending = [(obj, mode) for obj, mode in self.locks.all_held()
+                   if self.server_for_file(obj) == server]
+        for i, (obj, mode) in enumerate(pending):
             try:
                 yield from self._reassert_one(obj, mode, server)
             except DeliveryError:
-                return  # server unreachable again; lease machinery owns this
+                # Server unreachable again, and the epoch is already
+                # recorded — no later ACK will restart this sweep.  A
+                # lock the restarted server never re-learned is a lock
+                # it will happily grant elsewhere once its grace window
+                # closes, so forfeit everything not yet reasserted.
+                for fobj, _fmode in pending[i:]:
+                    self._note_lock_revoked(fobj)
+                    self.locks.note_released(fobj)
+                    dropped = self.cache.invalidate_file(fobj)
+                    for p in dropped:
+                        self.app_errors += 1
+                        self.trace.emit(self.sim.now, "app.error", self.name,
+                                        file_id=fobj, tag=p.tag,
+                                        reason="reassert_abandoned")
+                    for of in self.fds.by_file_id(fobj):
+                        of.lock = LockMode.NONE
+                        of.stale = True
+                return
 
     def _reassert_one(self, obj: int, mode: LockMode, server: str,
                       retried: bool = False) -> Generator[Event, Any, None]:
@@ -1014,6 +1072,7 @@ class StorageTankClient:
                     yield from self._reassert_one(obj, mode, new_owner,
                                                   retried=True)
                     return
+            self._note_lock_revoked(obj)
             self.locks.note_released(obj)
             dropped = self.cache.invalidate_file(obj)
             for p in dropped:
@@ -1071,6 +1130,7 @@ class StorageTankClient:
                 yield from self._rpc(MsgKind.LOCK_DOWNGRADE,
                                      {"file_id": file_id,
                                       "to": int(LockMode.SHARED)}, server)
+                self._note_lock_revoked(file_id)
                 self.locks.note_downgraded(file_id, LockMode.SHARED)
                 for of in self.fds.by_file_id(file_id):
                     of.lock = LockMode.SHARED
@@ -1078,11 +1138,24 @@ class StorageTankClient:
                 self.cache.invalidate_file(file_id)
                 yield from self._rpc(MsgKind.LOCK_RELEASE,
                                      {"file_id": file_id}, server)
+                self._note_lock_revoked(file_id)
                 self.locks.note_released(file_id)
                 for of in self.fds.by_file_id(file_id):
                     of.lock = LockMode.NONE
-        except (DeliveryError, NackError):
-            pass  # the lease machinery owns this failure mode
+        except (NackError, DeliveryError):
+            # Either every ACK was lost, or a retransmit was NACKed by
+            # the suspect gatekeeper (which answers before the dedup
+            # cache).  In both cases the server may well have executed
+            # the release (at-most-once) and granted the lock elsewhere,
+            # while our lease keeps renewing off other traffic, so
+            # expiry will not save us.  Forfeit locally — dropping a
+            # lock we might still own is always safe.
+            self.cache.invalidate_file(file_id)
+            self._note_lock_revoked(file_id)
+            self.locks.note_released(file_id)
+            for of in self.fds.by_file_id(file_id):
+                of.lock = LockMode.NONE
+                of.stale = True
 
     def _on_cache_invalidate(self, msg: Message):
         """Server-pushed invalidation of a file's cached pages."""

@@ -7,7 +7,7 @@ injections are ordinary simulation processes, so they compose with
 workloads and are reproducible from the seed.
 """
 
-from repro.fault.injector import FaultInjector
+from repro.fault.injector import STEP_KINDS, FaultInjector, ScheduleError
 from repro.fault.scenarios import (
     fig2_control_partition,
     transient_partition,
@@ -18,6 +18,8 @@ from repro.fault.scenarios import (
 
 __all__ = [
     "FaultInjector",
+    "STEP_KINDS",
+    "ScheduleError",
     "client_crash",
     "fig2_control_partition",
     "san_partition",

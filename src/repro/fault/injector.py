@@ -2,11 +2,16 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Generator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generator, List, Mapping, Optional, Tuple
 
 from repro.core.system import StorageTankSystem
 from repro.sim.events import Event
+from repro.sim.process import Process
+
+
+class ScheduleError(ValueError):
+    """A fault schedule was built or applied incorrectly."""
 
 
 @dataclass(frozen=True)
@@ -14,6 +19,27 @@ class _Step:
     time: float
     label: str
     action: Callable[[], None]
+
+
+#: Data-driven step vocabulary: kind -> (method name, required params).
+#: Everything the randomized schedule generator (:mod:`repro.simtest`)
+#: can emit maps onto one fluent-builder method, so a schedule is plain
+#: data — serializable, replayable and shrinkable.
+STEP_KINDS: Dict[str, Tuple[str, Tuple[str, ...]]] = {
+    "isolate_client": ("isolate_client", ("client",)),
+    "split_control": ("split_control", ("groups",)),
+    "block_one_way": ("block_one_way", ("src", "dst")),
+    "heal_control": ("heal_control", ()),
+    "partition_san": ("partition_san", ("initiator", "device")),
+    "heal_san": ("heal_san", ()),
+    "crash_client": ("crash_client", ("client",)),
+    "crash_client_lossy": ("crash_client_lossy", ("client",)),
+    "restart_client": ("restart_client", ("client",)),
+    "crash_server": ("crash_server", ("server",)),
+    "restart_server": ("restart_server", ("server",)),
+    "loss_burst": ("loss_burst", ("probability",)),
+    "end_loss_burst": ("end_loss_burst", ()),
+}
 
 
 class FaultInjector:
@@ -34,13 +60,46 @@ class FaultInjector:
     # -- schedule building (fluent) ----------------------------------------
     def at(self, time: float) -> "FaultInjector":
         """Set the time for the next queued action."""
-        self._pending_time = time
+        if not (time >= 0.0):  # also rejects NaN
+            raise ScheduleError(
+                f"fault step time must be a non-negative number, got {time!r}")
+        self._pending_time = float(time)
         return self
 
     def _add(self, label: str, action: Callable[[], None]) -> "FaultInjector":
         if self._pending_time is None:
-            raise ValueError("call .at(time) before queueing an action")
+            raise ScheduleError(
+                f"no pending time for fault action {label!r}: "
+                f"call .at(time) before queueing an action")
         self._steps.append(_Step(self._pending_time, label, action))
+        return self
+
+    def apply_step(self, time: float, kind: str,
+                   params: Optional[Mapping[str, Any]] = None,
+                   ) -> "FaultInjector":
+        """Queue one data-described step (see :data:`STEP_KINDS`).
+
+        This is the entry point the randomized schedule generator uses:
+        ``apply_step(3.0, "isolate_client", {"client": "c1"})`` is
+        exactly ``at(3.0).isolate_client("c1")``.
+        """
+        entry = STEP_KINDS.get(kind)
+        if entry is None:
+            raise ScheduleError(
+                f"unknown fault step kind {kind!r}; "
+                f"known kinds: {sorted(STEP_KINDS)}")
+        method_name, required = entry
+        given = dict(params or {})
+        missing = [p for p in required if p not in given]
+        if missing:
+            raise ScheduleError(
+                f"fault step {kind!r} is missing params {missing}")
+        method = getattr(self, method_name)
+        self.at(time)
+        if kind == "split_control":
+            method(*given["groups"])
+            return self
+        method(**given)
         return self
 
     def isolate_client(self, client: str) -> "FaultInjector":
@@ -49,7 +108,7 @@ class FaultInjector:
         return self._add(f"isolate:{client}",
                          lambda: sysm.ctrl_partitions.isolate(client))
 
-    def split_control(self, *groups) -> "FaultInjector":
+    def split_control(self, *groups: Any) -> "FaultInjector":
         """Symmetric control-network split into groups."""
         sysm = self.system
         gs = [list(g) for g in groups]
@@ -84,6 +143,21 @@ class FaultInjector:
         return self._add(f"crash:{client}",
                          lambda: sysm.client(client).endpoint.crash())
 
+    def crash_client_lossy(self, client: str) -> "FaultInjector":
+        """Hard client failure: endpoint down *and* volatile state
+        (page cache, lock table) wiped — acked-but-unflushed writes die
+        with the node, which is the paper's crash model."""
+        sysm = self.system
+
+        def crash() -> None:
+            node = sysm.client(client)
+            node.endpoint.crash()
+            node.cache.invalidate_all()
+            locks = getattr(node, "locks", None)
+            if locks is not None:
+                locks.drop_all()
+        return self._add(f"crash:{client}", crash)
+
     def restart_client(self, client: str) -> "FaultInjector":
         """Bring a crashed client's endpoint back."""
         sysm = self.system
@@ -102,12 +176,34 @@ class FaultInjector:
         return self._add(f"restart:{server}",
                          lambda: sysm.server_node(server).restart())
 
+    def loss_burst(self, probability: float) -> "FaultInjector":
+        """Raise the control network's datagram loss rate (message-loss
+        burst) until :meth:`end_loss_burst` restores the configured
+        baseline."""
+        if not (0.0 <= probability <= 1.0):
+            raise ScheduleError(
+                f"loss probability must be in [0, 1], got {probability!r}")
+        sysm = self.system
+
+        def raise_loss() -> None:
+            sysm.control_net.drop_probability = probability
+        return self._add(f"loss_burst:{probability:g}", raise_loss)
+
+    def end_loss_burst(self) -> "FaultInjector":
+        """Restore the configured baseline control-network loss rate."""
+        sysm = self.system
+
+        def restore() -> None:
+            sysm.control_net.drop_probability = \
+                sysm.config.network.ctrl_drop_probability
+        return self._add("end_loss_burst", restore)
+
     def custom(self, label: str, fn: Callable[[], None]) -> "FaultInjector":
         """Queue an arbitrary action."""
         return self._add(label, fn)
 
     # -- execution ------------------------------------------------------------
-    def start(self):
+    def start(self) -> Process:
         """Spawn the schedule as a simulation process."""
         steps = sorted(self._steps, key=lambda s: s.time)
 

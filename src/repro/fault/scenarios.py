@@ -34,14 +34,7 @@ def client_crash(system: StorageTankSystem, client: str = "c1",
                  ) -> FaultInjector:
     """Hard client failure (volatile state lost); optional restart."""
     inj = FaultInjector(system)
-    inj.at(at).crash_client(client)
-
-    def wipe() -> None:
-        node = system.client(client)
-        node.cache.invalidate_all()
-        if hasattr(node, "locks"):
-            node.locks.drop_all()
-    inj.at(at).custom(f"wipe:{client}", wipe)
+    inj.at(at).crash_client_lossy(client)
     if restart_at is not None:
         inj.at(restart_at).restart_client(client)
     return inj

@@ -14,6 +14,8 @@ The pieces:
 - :mod:`repro.obs.export` — versioned JSON/CSV export schema.
 - :mod:`repro.obs.runlog` — run collection: samples per-protocol
   overhead series while experiments execute.
+- :mod:`repro.obs.artifact` — versioned failure artifacts written by
+  the schedule fuzzer (:mod:`repro.simtest`) for seed replay.
 
 An :class:`Observability` bundle (one per built system) ties a registry
 to an optional span tracer.  This package never imports

@@ -1,0 +1,60 @@
+"""Versioned failure artifacts (``repro.simtest/1.0``).
+
+When the schedule fuzzer (:mod:`repro.simtest`) finds an oracle
+violation, it writes everything needed to reproduce and diagnose the
+failure into one deterministic JSON document:
+
+- the *schedule* (root seed, environment knobs, fault steps) — enough
+  to rebuild the identical run, since all randomness flows from the
+  seed through :class:`repro.sim.rng.RandomStreams`;
+- the *verdicts* (per-oracle violation lists);
+- the run's *trace hash* (replays must match it bit for bit);
+- an ASCII lease *timeline* (:mod:`repro.analysis.timeline`) for humans;
+- the full ``repro.obs/1.0`` metrics/spans document of the failing run.
+
+``python -m repro.simtest --replay <artifact>`` feeds the document back
+through the runner and compares trace hashes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Optional
+
+ARTIFACT_SCHEMA = "repro.simtest/1.0"
+
+
+def make_failure_artifact(schedule: Mapping[str, Any],
+                          violations: List[Dict[str, Any]],
+                          trace_hash: str,
+                          timeline: str = "",
+                          obs_document: Optional[Mapping[str, Any]] = None,
+                          **extra: Any) -> Dict[str, Any]:
+    """Assemble one failure-artifact document."""
+    return {
+        "schema": ARTIFACT_SCHEMA,
+        "schedule": dict(schedule),
+        "violations": list(violations),
+        "trace_hash": trace_hash,
+        "timeline": timeline,
+        "obs": dict(obs_document) if obs_document is not None else {},
+        "extra": dict(extra),
+    }
+
+
+def write_artifact(document: Mapping[str, Any], path: str) -> None:
+    """Write an artifact to ``path`` as deterministic, sorted JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_artifact(path: str) -> Dict[str, Any]:
+    """Load an artifact, validating its schema stamp."""
+    with open(path, "r", encoding="utf-8") as fh:
+        document = json.load(fh)
+    schema = document.get("schema")
+    if schema != ARTIFACT_SCHEMA:
+        raise ValueError(
+            f"{path}: expected schema {ARTIFACT_SCHEMA!r}, got {schema!r}")
+    return document

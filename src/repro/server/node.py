@@ -45,7 +45,11 @@ class ServerConfig:
     demand_timeout: float = 1.0       # per-datagram timeout for demands
     demand_retries: int = 3
     unfence_on_rejoin: bool = True    # lift fences when a stolen client returns
-    recovery_grace: float = 5.0       # local secs reassertions win over fresh locks
+    # Local secs reassertions win over fresh locks after a restart.
+    # build_system derives this from the lease contract (tau(1+eps)) so
+    # the window out-waits every pre-crash lease; the bare default here
+    # is only for directly-constructed servers in unit tests.
+    recovery_grace: float = 5.0
 
 
 class StorageTankServer:

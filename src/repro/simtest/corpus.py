@@ -1,0 +1,115 @@
+"""The pinned regression-seed corpus.
+
+``corpus.json`` (shipped next to this module) pins a handful of root
+seeds together with the canonical trace hash each one produced when the
+corpus was last blessed.  Tier-1 (and the CI ``simtest-fuzz`` job)
+replays every entry and asserts two things:
+
+1. no oracle fires (the protocol is still safe under those schedules);
+2. the trace hash is bit-identical (the simulation is still
+   deterministic — any drift in event ordering, RNG plumbing or trace
+   emission shows up here before it can invalidate replayability).
+
+When a legitimate change alters event traces (new trace kinds, protocol
+fixes), re-bless with ``python -m repro.simtest --update-corpus`` and
+review the hash diff like any other golden-file change.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.simtest.runner import SimRunResult, run_schedule
+from repro.simtest.schedule import generate_schedule
+
+#: Schema stamp for the corpus file.
+CORPUS_SCHEMA = "repro.simtest.corpus/1.0"
+
+#: Default on-disk location (inside the installed package).
+CORPUS_PATH = os.path.join(os.path.dirname(__file__), "corpus.json")
+
+#: The blessed (seed, n_steps) pairs.  Small step counts keep a full
+#: corpus replay inside the tier-1 time budget.
+PINNED_RUNS = ((0, 12), (1, 12), (7, 16), (23, 16), (42, 20))
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One pinned regression run."""
+
+    seed: int
+    n_steps: int
+    trace_hash: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (what ``corpus.json`` stores)."""
+        return {"seed": self.seed, "n_steps": self.n_steps,
+                "trace_hash": self.trace_hash}
+
+
+@dataclass
+class ReplayOutcome:
+    """Result of replaying one corpus entry."""
+
+    entry: CorpusEntry
+    result: SimRunResult
+
+    @property
+    def hash_matches(self) -> bool:
+        return self.result.trace_hash == self.entry.trace_hash
+
+    @property
+    def ok(self) -> bool:
+        return self.hash_matches and self.result.ok
+
+
+def load_corpus(path: Optional[str] = None) -> List[CorpusEntry]:
+    """Read the pinned corpus (empty if never blessed)."""
+    corpus_path = path or CORPUS_PATH
+    if not os.path.exists(corpus_path):
+        return []
+    with open(corpus_path, "r", encoding="utf-8") as fh:
+        doc: Mapping[str, Any] = json.load(fh)
+    if doc.get("schema") != CORPUS_SCHEMA:
+        raise ValueError(f"{corpus_path}: expected schema "
+                         f"{CORPUS_SCHEMA!r}, got {doc.get('schema')!r}")
+    return [CorpusEntry(seed=int(e["seed"]), n_steps=int(e["n_steps"]),
+                        trace_hash=str(e["trace_hash"]))
+            for e in doc.get("entries", [])]
+
+
+def replay_entry(entry: CorpusEntry) -> ReplayOutcome:
+    """Re-run one pinned seed and compare against its blessing."""
+    schedule = generate_schedule(entry.seed, entry.n_steps)
+    return ReplayOutcome(entry=entry, result=run_schedule(schedule))
+
+
+def replay_corpus(path: Optional[str] = None) -> List[ReplayOutcome]:
+    """Replay every pinned entry."""
+    return [replay_entry(e) for e in load_corpus(path)]
+
+
+def bless_corpus(path: Optional[str] = None) -> List[CorpusEntry]:
+    """Regenerate the corpus file from :data:`PINNED_RUNS`.
+
+    Refuses to bless a run in which an oracle fired — the corpus pins
+    *clean* runs; failing schedules belong in failure artifacts.
+    """
+    entries: List[CorpusEntry] = []
+    for seed, n_steps in PINNED_RUNS:
+        result = run_schedule(generate_schedule(seed, n_steps))
+        if not result.ok:
+            raise ValueError(
+                f"refusing to bless seed {seed}: oracles fired "
+                f"({result.oracle_names()})")
+        entries.append(CorpusEntry(seed=seed, n_steps=n_steps,
+                                   trace_hash=result.trace_hash))
+    doc = {"schema": CORPUS_SCHEMA,
+           "entries": [e.to_dict() for e in entries]}
+    with open(path or CORPUS_PATH, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return entries

@@ -1,0 +1,456 @@
+"""Invariant oracles: the paper's safety claims as checkable predicates.
+
+Each oracle watches one claim (DESIGN.md §12 maps them back to the
+paper) and reports :class:`OracleViolation` records.  Two check points:
+
+- :meth:`Oracle.check_live` runs periodically *during* a fuzz run
+  against live system state (lock tables, lease phases);
+- :meth:`Oracle.check_final` runs once after the run settles, against
+  the trace, the disks and the server lock history.
+
+Oracles must tolerate every fault the schedule generator can inject —
+crashes, partitions, SAN cuts, loss bursts, drawn clock skew — and fire
+only on genuine protocol failures.  The exemptions encode the paper's
+failure model: data in a crashed client's volatile cache is *expected*
+to die (§2); a client whose clock breaks the ε bound is outside the
+lease guarantee and needs fencing (§6); data the client could not
+harden because its SAN path was cut is a reported I/O failure, not a
+silent protocol loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis.consistency import ConsistencyAuditor
+from repro.core.system import StorageTankSystem
+from repro.lease.contract import LeaseContract
+from repro.locks.modes import LockMode, compatible
+from repro.net.message import MsgKind
+
+#: Message kinds a *passive* server must never originate (§3: the
+#: server keeps no lease state and runs no lease traffic of its own).
+SERVER_LEASE_KINDS = frozenset({
+    MsgKind.KEEPALIVE, MsgKind.LEASE_RENEW, MsgKind.HEARTBEAT,
+})
+
+#: Transport frames (replies) — exempt from the Fig. 5 must-answer rule.
+_REPLY_KINDS = frozenset({MsgKind.ACK, MsgKind.NACK, MsgKind.RESULT})
+
+_TIME_SLACK = 1e-6
+
+
+@dataclass(frozen=True)
+class OracleViolation:
+    """One observed breach of a safety claim."""
+
+    oracle: str
+    time: float
+    node: str
+    message: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def key(self) -> Tuple[str, str, str]:
+        """Dedup key: live checks re-observe the same breach each tick."""
+        return (self.oracle, self.node, self.message)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (detail values are repr()'d)."""
+        return {"oracle": self.oracle, "time": self.time, "node": self.node,
+                "message": self.message,
+                "detail": {k: repr(v) for k, v in self.detail.items()}}
+
+
+class Oracle:
+    """Base class: one paper claim, checked live and/or post-run."""
+
+    #: Stable identifier (used for dedup and shrink predicates).
+    name = "oracle"
+    #: The paper claim this oracle guards (surfaces in DESIGN.md §12).
+    claim = ""
+
+    def check_live(self, system: StorageTankSystem) -> List[OracleViolation]:
+        """Checked periodically while the run executes; default: nothing."""
+        return []
+
+    def check_final(self, system: StorageTankSystem) -> List[OracleViolation]:
+        """Checked once after the run; most oracles override this."""
+        return []
+
+    def _violation(self, time: float, node: str, message: str,
+                   **detail: Any) -> OracleViolation:
+        return OracleViolation(oracle=self.name, time=time, node=node,
+                               message=message, detail=detail)
+
+
+# -- shared fault-history reconstruction ----------------------------------
+
+def _fault_events(system: StorageTankSystem) -> List[Tuple[float, str]]:
+    """(time, label) for every injected fault, from the trace."""
+    return [(rec.time, str(rec.get("label")))
+            for rec in system.trace.select(kind="fault.inject")]
+
+
+def _crashed_before(system: StorageTankSystem, node: str,
+                    time: float) -> bool:
+    """Whether ``node``'s most recent crash/restart event at or before
+    ``time`` was a crash (i.e. the node was down, or died, by then)."""
+    state = False
+    for t, label in _fault_events(system):
+        if t > time + _TIME_SLACK:
+            break
+        if label == f"crash:{node}":
+            state = True
+        elif label == f"restart:{node}":
+            state = False
+    return state
+
+
+def _ever_crashed_at_or_after(system: StorageTankSystem, node: str,
+                              time: float) -> bool:
+    """Whether ``node`` crashed at any point at/after ``time``."""
+    return any(label == f"crash:{node}" and t >= time - _TIME_SLACK
+               for t, label in _fault_events(system))
+
+
+def _san_cut_active(system: StorageTankSystem, initiator: str,
+                    time: float) -> bool:
+    """Whether any SAN cut involving ``initiator`` was live at ``time``."""
+    prefix = f"san_cut:{initiator}-"
+    active = False
+    for t, label in _fault_events(system):
+        if t > time + _TIME_SLACK:
+            break
+        if label.startswith(prefix):
+            active = True
+        elif label == "heal_san":
+            active = False
+    return active
+
+
+def _contract(system: StorageTankSystem) -> LeaseContract:
+    return system.config.lease.contract()
+
+
+# -- the oracles ----------------------------------------------------------
+
+class LockCompatibilityOracle(Oracle):
+    """No two clients hold conflicting locks while both caches are valid.
+
+    The system-wide single-writer guarantee (§2, §3): a steal must never
+    complete while the victim still believes its lease — and therefore
+    its locks and cache — is good.  Checked *live* because the final
+    lock tables of a finished run are usually clean.
+    """
+
+    name = "lock-compatibility"
+    claim = ("§2/§3: locks cached under a live lease are exclusive — a "
+             "steal completes only after the holder's lease expired")
+
+    def check_live(self, system: StorageTankSystem) -> List[OracleViolation]:
+        """Flag conflicting locks concurrently held under usable leases."""
+        holders: Dict[int, List[Tuple[str, LockMode]]] = {}
+        for cname, client in system.clients.items():
+            locks = getattr(client, "locks", None)
+            leases = getattr(client, "leases", None)
+            if locks is None or leases is None:
+                continue
+            file_server = getattr(client, "_file_server", {})
+            revoking = getattr(client, "_revoking", frozenset())
+            for obj, mode in locks.all_held():
+                if mode == LockMode.NONE:
+                    continue
+                if obj in revoking:
+                    # Demand compliance in progress: the cache is already
+                    # invalidated and new ops are gated, so the table
+                    # entry is bookkeeping lag while the release's ACK is
+                    # in flight — not a usable lock.
+                    continue
+                srv = file_server.get(obj)
+                managers = ([leases[srv]] if srv in leases
+                            else list(leases.values()))
+                if not any(m.phase().cache_usable for m in managers):
+                    continue  # lease dead: the cached lock is already void
+                holders.setdefault(obj, []).append((cname, mode))
+        out: List[OracleViolation] = []
+        now = system.sim.now
+        for obj, entries in holders.items():
+            for i, (ca, ma) in enumerate(entries):
+                for cb, mb in entries[i + 1:]:
+                    if not compatible(ma, mb):
+                        out.append(self._violation(
+                            now, ca,
+                            f"clients {ca}({ma.name}) and {cb}({mb.name}) "
+                            f"both hold object {obj} under live leases",
+                            obj=obj, other=cb))
+        return out
+
+
+class NoSilentLossOracle(Oracle):
+    """No acknowledged write vanishes silently; no invalid cache is read.
+
+    Wraps the offline :class:`ConsistencyAuditor` (invariants I2-I4)
+    and exempts I2 losses whose writer crashed after the ack — volatile
+    loss on a crash is the paper's stated failure model (§2), not a
+    protocol failure.
+    """
+
+    name = "no-silent-loss"
+    claim = ("§2: every acknowledged write reaches disk or is reported "
+             "lost; reads never serve a cache coherence invalidated "
+             "(audit invariants I2/I3/I4)")
+
+    def check_final(self, system: StorageTankSystem) -> List[OracleViolation]:
+        """Run the consistency audit and report I2/I3/I4 findings."""
+        report = ConsistencyAuditor(system).audit()
+        out: List[OracleViolation] = []
+        for v in report.lost_updates:
+            if _ever_crashed_at_or_after(system, v.client, v.time):
+                continue  # died with the writer's volatile cache (§2)
+            out.append(self._violation(
+                v.time, v.client,
+                f"acked write {v.detail.get('tag')!r} silently lost",
+                **v.detail))
+        for v in report.stale_reads:
+            out.append(self._violation(
+                v.time, v.client,
+                f"stale read of {v.detail.get('block')}: got "
+                f"{v.detail.get('got')!r} after newer data hardened",
+                **v.detail))
+        for v in report.unsynchronized_writes:
+            out.append(self._violation(
+                v.time, v.client,
+                f"disk write to {v.detail.get('block')} without an "
+                f"EXCLUSIVE lock", **v.detail))
+        return out
+
+
+class ExpectedFailureFlushOracle(Oracle):
+    """A client that loses its lease flushed its dirty data first.
+
+    Fig. 4's phase-4 guarantee: the flush phase begins early enough that
+    everything dirty is hardened to the SAN before expiry, so an
+    isolated client loses *service*, not *data*.  Fires when a lease
+    expiry dropped dirty pages with no excuse: the client was up, its
+    SAN path worked, its clock was in bound and no straggling op held
+    the flush hostage.
+    """
+
+    name = "expected-failure-flush"
+    claim = ("§3.2/Fig. 4: the expected-failure flush hardens all dirty "
+             "data to the SAN before the lease expires")
+
+    def check_final(self, system: StorageTankSystem) -> List[OracleViolation]:
+        """Flag expected-failure paths that dropped dirty data without cause."""
+        out: List[OracleViolation] = []
+        slow = set(system.config.slow_clients)
+        for rec in system.trace.select(kind="client.lease_lost"):
+            dropped = int(rec.get("dirty_dropped") or 0)
+            if dropped == 0:
+                continue
+            client = rec.node
+            if client in slow:
+                continue  # outside the lease guarantee (§6): fencing's job
+            if int(rec.get("in_flight") or 0) > 0:
+                continue  # expiry raced an op still draining; flush blocked
+            if _crashed_before(system, client, rec.time):
+                continue  # dead clients cannot flush (§2 volatile loss)
+            if _san_cut_active(system, client, rec.time):
+                continue  # flush path itself was down: reported I/O failure
+            out.append(self._violation(
+                rec.time, client,
+                f"lease expired with {dropped} dirty page(s) dropped "
+                f"despite a working flush path", dirty_dropped=dropped,
+                server=rec.get("server")))
+        return out
+
+
+class PassiveServerOracle(Oracle):
+    """The server stays lease-passive (the paper's headline property).
+
+    §3: during normal operation the server keeps no lease records and
+    sends no lease messages.  Three checks: (a) no server ever *sends* a
+    lease-kind message; (b) a server that never suspected anyone charged
+    zero lease messages; (c) every server NACK falls inside a suspect
+    window — the only situation in which the lease protocol makes the
+    server do anything at all.
+    """
+
+    name = "passive-server"
+    claim = ("§3: the server retains no lease state and initiates no "
+             "lease messages; NACKs occur only while timing a client out")
+
+    def check_final(self, system: StorageTankSystem) -> List[OracleViolation]:
+        """Flag server-originated lease traffic and out-of-window NACKs."""
+        out: List[OracleViolation] = []
+        servers = getattr(system, "servers", None) or {
+            system.server.name: system.server}
+        for rec in system.trace.select(kind="msg.send"):
+            if rec.node in servers and rec.get("msg_kind") in SERVER_LEASE_KINDS:
+                out.append(self._violation(
+                    rec.time, rec.node,
+                    f"server sent lease message {rec.get('msg_kind')!r}",
+                    msg_kind=rec.get("msg_kind"), dst=rec.get("dst")))
+        for sname, srv in servers.items():
+            authority = getattr(srv, "authority", None)
+            if authority is None:
+                continue
+            suspects = [r for r in system.trace.select(kind="lease.suspect")
+                        if r.node == sname]
+            snapshot = authority.overhead_snapshot()
+            if not suspects and snapshot.get("lease_msgs_sent", 0.0) > 0:
+                out.append(self._violation(
+                    system.sim.now, sname,
+                    f"server charged {snapshot['lease_msgs_sent']:g} lease "
+                    f"messages without ever suspecting a client",
+                    **{k: float(v) for k, v in snapshot.items()}))
+        for rec in system.trace.select(kind="lease.server_nack"):
+            if not _in_suspect_window(system, rec.node,
+                                      str(rec.get("client")), rec.time):
+                out.append(self._violation(
+                    rec.time, rec.node,
+                    f"server NACKed {rec.get('client')!r} outside any "
+                    f"suspect window", client=rec.get("client"),
+                    msg_kind=rec.get("msg_kind")))
+        return out
+
+
+def _suspect_windows(system: StorageTankSystem, server: str,
+                     client: str) -> List[Tuple[float, float]]:
+    """[start, end] suspect windows for one (server, client) pair; an
+    unresolved window extends to the end of the run."""
+    windows: List[Tuple[float, float]] = []
+    start: Optional[float] = None
+    events: List[Tuple[float, int, str]] = []
+    for rec in system.trace.select(kind="lease.suspect"):
+        if rec.node == server and rec.get("client") == client:
+            events.append((rec.time, 0, "open"))
+    for rec in system.trace.select(kind="lease.steal"):
+        if rec.node == server and rec.get("client") == client:
+            events.append((rec.time, 1, "close"))
+    for t, _o, op in sorted(events):
+        if op == "open" and start is None:
+            start = t
+        elif op == "close" and start is not None:
+            windows.append((start, t))
+            start = None
+    if start is not None:
+        windows.append((start, system.sim.now))
+    return windows
+
+
+def _in_suspect_window(system: StorageTankSystem, server: str,
+                       client: str, time: float) -> bool:
+    return any(s - _TIME_SLACK <= time <= e + _TIME_SLACK
+               for s, e in _suspect_windows(system, server, client))
+
+
+class NackTimedOutOracle(Oracle):
+    """A request from a client being timed out is answered with a NACK.
+
+    §3.3/Fig. 5: the server can neither ACK (it would renew the lease it
+    is expiring) nor stay silent (the client would hang in retries) — it
+    must NACK so the client learns its cache is invalid right away.
+    Skipped when the ablation knob ``nack_suspects=False`` is set.
+    """
+
+    name = "nack-timed-out"
+    claim = ("§3.3/Fig. 5: while a client is being timed out, its "
+             "requests are answered with a NACK, never ACKed or dropped")
+
+    def check_final(self, system: StorageTankSystem) -> List[OracleViolation]:
+        """Flag suspect-window requests that were not answered with a NACK."""
+        out: List[OracleViolation] = []
+        servers = getattr(system, "servers", None) or {
+            system.server.name: system.server}
+        for sname, srv in servers.items():
+            authority = getattr(srv, "authority", None)
+            if authority is None or not getattr(authority, "nack_suspects", True):
+                continue
+            nack_times = [r.time for r in
+                          system.trace.select(kind="lease.server_nack")
+                          if r.node == sname]
+            clients = {str(r.get("client")) for r in
+                       system.trace.select(kind="lease.suspect")
+                       if r.node == sname}
+            for client in clients:
+                windows = _suspect_windows(system, sname, client)
+                for rec in system.trace.select(kind="msg.recv"):
+                    if rec.node != sname or rec.get("src") != client:
+                        continue
+                    if rec.get("msg_kind") in _REPLY_KINDS:
+                        continue
+                    t = rec.time
+                    if not any(s + _TIME_SLACK < t < e - _TIME_SLACK
+                               for s, e in windows):
+                        continue
+                    if not any(abs(nt - t) <= _TIME_SLACK
+                               for nt in nack_times):
+                        out.append(self._violation(
+                            t, sname,
+                            f"request {rec.get('msg_kind')!r} from "
+                            f"timed-out client {client!r} was not NACKed",
+                            client=client, msg_kind=rec.get("msg_kind")))
+        return out
+
+
+class Theorem31Oracle(Oracle):
+    """Steals happen only after the victim's lease provably expired.
+
+    Theorem 3.1: with rate-synchronized clocks (bound ε), a server that
+    waits τ(1+ε) after its last ACK to a client outlives every lease
+    interval that ACK could have started.  Checked from the trace: each
+    ``lease.steal`` must postdate the global expiry of the victim's last
+    renewed lease, computed through the victim's own skewed clock.
+    Clients configured to violate the clock bound (§6) are exempt —
+    that is precisely the case the theorem does not cover.
+    """
+
+    name = "theorem-3.1"
+    claim = ("§3 Thm 3.1: the server's τ(1+ε) wait strictly covers the "
+             "client's τ lease interval under the rate-skew bound")
+
+    def check_final(self, system: StorageTankSystem) -> List[OracleViolation]:
+        """Flag steals that precede the stolen client's lease expiry bound."""
+        out: List[OracleViolation] = []
+        contract = _contract(system)
+        slow = set(system.config.slow_clients)
+        clocks = system.clocks.clocks
+        renewals = list(system.trace.select(kind="lease.renewed"))
+        for steal in system.trace.select(kind="lease.steal"):
+            client = str(steal.get("client"))
+            if client in slow or client not in clocks:
+                continue
+            server = steal.node
+            last_start: Optional[float] = None
+            for rec in renewals:
+                if (rec.node == client and rec.get("server") == server
+                        and rec.time <= steal.time + _TIME_SLACK):
+                    start = rec.get("start_local")
+                    if start is not None:
+                        last_start = float(start)
+            if last_start is None:
+                continue  # never held a lease; nothing to outlive
+            expiry_local = contract.client_expiry_local(last_start)
+            expiry_global = clocks[client].global_time(expiry_local)
+            if steal.time < expiry_global - _TIME_SLACK:
+                out.append(self._violation(
+                    steal.time, server,
+                    f"locks of {client!r} stolen "
+                    f"{expiry_global - steal.time:.6f}s before its lease "
+                    f"expired", client=client,
+                    lease_expiry_global=expiry_global))
+        return out
+
+
+def default_oracles() -> List[Oracle]:
+    """The standard invariant library, one instance each."""
+    return [
+        LockCompatibilityOracle(),
+        NoSilentLossOracle(),
+        ExpectedFailureFlushOracle(),
+        PassiveServerOracle(),
+        NackTimedOutOracle(),
+        Theorem31Oracle(),
+    ]

@@ -1,0 +1,149 @@
+"""Delta-debugging schedule minimization.
+
+When a fuzz run trips an oracle, the raw schedule usually carries dozens
+of irrelevant fault steps.  :func:`shrink_schedule` reduces it with
+ddmin (Zeller's delta debugging over the step list) followed by a
+one-at-a-time removal pass, so the result is *1-minimal*: the failure
+reproduces with the surviving steps, and removing any single one of
+them makes it vanish.
+
+The failure predicate is "re-running the candidate schedule (same seed,
+same environment, same break mode) still fires at least one of the same
+oracles" — deterministic replay makes this a pure function of the
+candidate step list, so no flaky-shrink heuristics are needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.simtest.oracles import Oracle
+from repro.simtest.runner import SimRunResult, run_schedule
+from repro.simtest.schedule import FaultStep, Schedule
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one minimization."""
+
+    schedule: Schedule           # the minimized schedule
+    result: SimRunResult         # its (still-failing) run result
+    runs: int = 0                # candidate executions spent
+    removed: int = 0             # steps eliminated from the original
+
+    @property
+    def minimal(self) -> bool:
+        """Whether the 1-minimality pass completed within budget."""
+        return self._minimal
+
+    _minimal: bool = field(default=False, repr=False)
+
+
+def shrink_schedule(schedule: Schedule, failing: SimRunResult,
+                    oracles: Optional[List[Oracle]] = None,
+                    max_runs: int = 200) -> ShrinkResult:
+    """Minimize a failing schedule's step list.
+
+    ``failing`` is the original run result (used for the target oracle
+    set); ``max_runs`` bounds the total candidate executions.  Returns
+    the smallest still-failing schedule found.
+    """
+    target = set(failing.oracle_names())
+    if not target:
+        raise ValueError("shrink_schedule needs a failing run "
+                         "(no oracle violations in `failing`)")
+    budget = _Budget(max_runs)
+
+    def fails(steps: Sequence[FaultStep]) -> Optional[SimRunResult]:
+        """Run a candidate; the failing result if the failure persists."""
+        if not budget.take():
+            return None
+        result = run_schedule(schedule.with_steps(steps), oracles=oracles)
+        if target & set(result.oracle_names()):
+            return result
+        return None
+
+    best_steps: Tuple[FaultStep, ...] = schedule.steps
+    best_result = failing
+
+    # -- ddmin ------------------------------------------------------------
+    n = 2
+    while len(best_steps) >= 2 and budget.left():
+        chunks = _partition(best_steps, n)
+        reduced = False
+        # Try each chunk alone, then each complement.
+        for candidate in chunks + [_complement(best_steps, c) for c in chunks]:
+            if len(candidate) in (0, len(best_steps)):
+                continue
+            result = fails(candidate)
+            if result is not None:
+                best_steps = tuple(candidate)
+                best_result = result
+                n = max(2, min(n - 1, len(best_steps)))
+                reduced = True
+                break
+        if not reduced:
+            if n >= len(best_steps):
+                break
+            n = min(len(best_steps), n * 2)
+
+    # -- 1-minimality: drop any single remaining step that is not needed --
+    finished = True
+    i = 0
+    while i < len(best_steps):
+        if not budget.left():
+            finished = False
+            break
+        candidate = best_steps[:i] + best_steps[i + 1:]
+        result = fails(candidate)
+        if result is not None:
+            best_steps = candidate
+            best_result = result
+            # restart the sweep: earlier steps may now be removable
+            i = 0
+        else:
+            i += 1
+
+    out = ShrinkResult(schedule=schedule.with_steps(best_steps),
+                       result=best_result, runs=budget.used,
+                       removed=len(schedule.steps) - len(best_steps))
+    out._minimal = finished
+    return out
+
+
+class _Budget:
+    """Counted run allowance."""
+
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        self.used = 0
+
+    def left(self) -> bool:
+        return self.used < self.limit
+
+    def take(self) -> bool:
+        if not self.left():
+            return False
+        self.used += 1
+        return True
+
+
+def _partition(steps: Sequence[FaultStep], n: int) -> List[List[FaultStep]]:
+    """Split into ``n`` contiguous chunks (sizes differ by at most 1)."""
+    n = min(n, len(steps))
+    out: List[List[FaultStep]] = []
+    base, extra = divmod(len(steps), n)
+    start = 0
+    for i in range(n):
+        size = base + (1 if i < extra else 0)
+        out.append(list(steps[start:start + size]))
+        start += size
+    return out
+
+
+def _complement(steps: Sequence[FaultStep],
+                chunk: Sequence[FaultStep]) -> List[FaultStep]:
+    """``steps`` with the (contiguous) chunk removed, order preserved."""
+    drop: Set[int] = {id(s) for s in chunk}
+    return [s for s in steps if id(s) not in drop]

@@ -1,0 +1,58 @@
+"""Delta-debugging shrinker: still-fails, locally minimal, budgeted."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simtest.runner import run_schedule
+from repro.simtest.schedule import generate_schedule
+from repro.simtest.shrink import shrink_schedule
+
+# A known-failing sabotaged schedule (probed; deterministic).
+_FAILING = generate_schedule(2, 6, break_mode="steal_early")
+
+
+@pytest.fixture(scope="module")
+def shrunk():
+    failing = run_schedule(_FAILING)
+    assert "theorem-3.1" in failing.oracle_names()
+    return shrink_schedule(_FAILING, failing)
+
+
+def test_shrunk_schedule_still_fails(shrunk):
+    assert "theorem-3.1" in shrunk.result.oracle_names()
+    # Re-running the minimized schedule reproduces the same verdict.
+    again = run_schedule(shrunk.schedule)
+    assert "theorem-3.1" in again.oracle_names()
+    assert again.trace_hash == shrunk.result.trace_hash
+
+
+def test_shrunk_schedule_is_locally_minimal(shrunk):
+    assert shrunk.minimal
+    steps = shrunk.schedule.steps
+    assert 1 <= len(steps) < len(_FAILING.steps)
+    for i in range(len(steps)):
+        candidate = shrunk.schedule.with_steps(steps[:i] + steps[i + 1:])
+        result = run_schedule(candidate)
+        assert "theorem-3.1" not in result.oracle_names(), \
+            f"step {i} ({steps[i].kind}) was removable"
+
+
+def test_shrink_accounting(shrunk):
+    assert shrunk.runs >= 1
+    assert shrunk.removed == len(_FAILING.steps) - len(shrunk.schedule.steps)
+
+
+def test_shrink_requires_a_failing_run():
+    clean = run_schedule(generate_schedule(0, 2))
+    assert clean.ok
+    with pytest.raises(ValueError, match="failing run"):
+        shrink_schedule(generate_schedule(0, 2), clean)
+
+
+def test_shrink_respects_run_budget():
+    failing = run_schedule(_FAILING)
+    out = shrink_schedule(_FAILING, failing, max_runs=0)
+    assert out.runs == 0
+    assert not out.minimal
+    assert out.schedule.steps == _FAILING.steps
