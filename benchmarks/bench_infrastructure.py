@@ -7,7 +7,11 @@ no optimization without measurement — this is the measurement.
 """
 
 from repro.net import ControlNetwork, Endpoint
+from repro.obs.registry import MetricsRegistry
 from repro.sim import ClockEnsemble, RandomStreams, Simulator
+from repro.sim.trace import TraceRecorder
+from repro.simtest.runner import run_schedule
+from repro.simtest.schedule import generate_schedule
 
 
 def _spin_timeouts(n: int) -> float:
@@ -66,3 +70,56 @@ def _spin_rpcs(n: int) -> int:
 def test_endpoint_rpc_throughput(benchmark):
     """Full request→handler→ACK round-trips per second."""
     benchmark(_spin_rpcs, 2_000)
+
+
+def _spin_trace_emits(n: int) -> int:
+    trace = TraceRecorder(enabled=True)
+    emit = trace.emit
+    for i in range(n):
+        emit(i * 0.001, "msg.send", "n1",
+             msg_kind="fs.getattr", dst="n2", msg_id=i, seq=i)
+    return len(trace)
+
+
+def test_trace_recorder_throughput(benchmark):
+    """Stored-record emission rate (the per-message tracing cost)."""
+    assert benchmark(_spin_trace_emits, 50_000) == 50_000
+
+
+def _spin_trace_counting_only(n: int) -> int:
+    trace = TraceRecorder(enabled=False)
+    emit = trace.emit
+    for i in range(n):
+        emit(i * 0.001, "msg.send", "n1",
+             msg_kind="fs.getattr", dst="n2", msg_id=i, seq=i)
+    return trace.count("msg.send")
+
+
+def test_trace_counting_only_throughput(benchmark):
+    """Counter-only emission rate (storage disabled, counts exact)."""
+    assert benchmark(_spin_trace_counting_only, 50_000) == 50_000
+
+
+def _spin_metrics(n: int) -> float:
+    reg = MetricsRegistry()
+    counter = reg.counter("bench.ops", labels=("node",))
+    hist = reg.histogram("bench.latency_s", labels=("kind", "status"))
+    for i in range(n):
+        counter.labels(node="n1").inc()
+        hist.labels(kind="fs.getattr", status="ack").observe(0.001 * (i % 7))
+    return reg.value("bench.ops", node="n1")
+
+
+def test_metrics_registry_throughput(benchmark):
+    """Label-resolution + update rate for counters and histograms."""
+    assert benchmark(_spin_metrics, 50_000) == 50_000
+
+
+def _spin_fuzz_step() -> None:
+    result = run_schedule(generate_schedule(0, 6))
+    assert result.ok
+
+
+def test_fuzz_step_throughput(benchmark):
+    """One full fuzz run (build system, inject faults, check oracles)."""
+    benchmark(_spin_fuzz_step)

@@ -88,7 +88,7 @@ class ConsistencyReport:
 class ConsistencyAuditor:
     """Replays a finished system's records against the invariants."""
 
-    def __init__(self, system: StorageTankSystem):
+    def __init__(self, system: StorageTankSystem) -> None:
         self.system = system
 
     # -- public -------------------------------------------------------------

@@ -21,6 +21,7 @@ from repro.analysis.report import Table
 from repro.harness.ablations import ABLATIONS
 from repro.harness.common import wall_timer
 from repro.harness.experiments import EXPERIMENTS as _EXPERIMENTS
+from repro.harness.parallel import run_experiments_parallel
 from repro.obs import runlog
 
 EXPERIMENTS = dict(_EXPERIMENTS)
@@ -44,12 +45,23 @@ def main(argv=None) -> int:
                         help="write a repro.obs/1.0 metrics document "
                              "(registry snapshots, overhead series, spans) "
                              "covering every system the experiments build")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for running several "
+                             "experiments concurrently (default 1); output "
+                             "order matches the requested order")
     args = parser.parse_args(argv)
 
     names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
         parser.error(f"unknown experiments: {unknown}")
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    if args.jobs > 1 and args.metrics_out:
+        parser.error("--jobs > 1 cannot aggregate --metrics-out documents; "
+                     "run metrics collection with --jobs 1")
+    if args.jobs > 1:
+        return _run_parallel(names, args)
 
     collector = None
     scope: Any = contextlib.nullcontext()
@@ -77,6 +89,29 @@ def main(argv=None) -> int:
     if collector is not None:
         collector.export(args.metrics_out)
         print(f"\n[metrics written to {args.metrics_out}]")
+    if args.markdown:
+        with open(args.markdown, "w") as fh:
+            fh.write(f"# Experiment tables (seed {args.seed})\n\n")
+            fh.write("\n\n".join(md_chunks))
+            fh.write("\n")
+        print(f"\n[markdown written to {args.markdown}]")
+    return 0
+
+
+def _run_parallel(names, args) -> int:
+    """Fan the requested experiments out over a process pool."""
+    kwargs = {"seed": args.seed}
+    if args.n_servers is not None:
+        kwargs["n_servers"] = args.n_servers
+    tasks = [(name, kwargs) for name in names]
+    outcomes = run_experiments_parallel(tasks, args.jobs)
+    md_chunks = []
+    for outcome in outcomes:
+        for text, md in zip(outcome.table_texts, outcome.markdown_chunks):
+            print()
+            print(text)
+            md_chunks.append(md)
+        print(f"\n[{outcome.name} completed in {outcome.elapsed_s:.1f}s wall]")
     if args.markdown:
         with open(args.markdown, "w") as fh:
             fh.write(f"# Experiment tables (seed {args.seed})\n\n")

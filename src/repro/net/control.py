@@ -12,13 +12,22 @@ slot-release handoffs are plain request/ACK exchanges (the
 ``CLUSTER_*`` kinds in :mod:`repro.net.message`), so every failure
 mode expressible here — loss, delay, one-way partitions — applies to
 membership traffic exactly as it does to lease traffic.
+
+Hot-path design notes: delivery is a dedicated :class:`_DeliveryEvent`
+(no per-datagram closure), the request/retry loops race events with
+:class:`repro.sim.events.FirstOf` instead of building an ``AnyOf`` plus
+result dict per attempt, trace emission is guarded by the recorder's
+no-op flag, and the at-most-once eviction queue is a deque.  Event
+scheduling order and RNG draw order are unchanged, so traces are
+bit-identical to the pre-optimization transport.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import (TYPE_CHECKING, Any, Callable, Dict, Generator, List,
-                    Optional, Set, Tuple)
+from typing import (TYPE_CHECKING, Any, Callable, Deque, Dict, Generator,
+                    List, Optional, Set, Tuple)
 
 from repro.net.message import (
     Ack,
@@ -29,13 +38,14 @@ from repro.net.message import (
     NackError,
 )
 from repro.sim.clock import LocalClock
-from repro.sim.events import Event, Timeout
+from repro.sim.events import Event, FirstOf, Timeout
 from repro.sim.kernel import Simulator
 from repro.sim.rng import RandomStreams
 from repro.sim.trace import TraceRecorder
 
 if TYPE_CHECKING:  # pragma: no cover - import only for annotations
     from repro.obs import Observability
+    from repro.obs.registry import Metric
     from repro.obs.spans import Span
 
 # A request handler may return a decision tuple directly, or a generator
@@ -44,6 +54,9 @@ if TYPE_CHECKING:  # pragma: no cover - import only for annotations
 # ("silent", None).
 HandlerResult = Tuple[str, Optional[Dict[str, Any]]]
 Handler = Callable[[Message], Any]
+
+_ACK = MsgKind.ACK
+_NACK = MsgKind.NACK
 
 
 @dataclass(frozen=True)
@@ -65,6 +78,59 @@ class RetryPolicy:
         return self.retries + 1
 
 
+class _DeliveryEvent(Event):
+    """An in-flight datagram: fires at arrival time and hands the message
+    to the target endpoint.
+
+    Replaces the per-datagram ``deliver`` closure + generic event pair:
+    one allocation, no cell variables, and the arrival logic runs as an
+    overridden ``_fire``.  Scheduling consumes exactly one sequence
+    number at transmit time, as the old ``Event.succeed(delay=...)`` did.
+    """
+
+    __slots__ = ("net", "msg", "target")
+
+    def __init__(self, net: "ControlNetwork", msg: Message,
+                 target: "Endpoint", delay: float) -> None:
+        sim = net.sim
+        self.sim = sim
+        self.callbacks = None
+        self._value = None
+        self._exc = None
+        self._triggered = True
+        self._processed = False
+        self._defused = False
+        self._waiter = None
+        self.net = net
+        self.msg = msg
+        self.target = target
+        sim._schedule(self, delay)
+
+    def _fire(self) -> None:
+        self._processed = True
+        net = self.net
+        msg = self.msg
+        target = self.target
+        # A partition may have formed while the datagram was in flight;
+        # model cut links by re-checking at delivery time.
+        blocked = net._blocked
+        if (blocked and (msg.src, msg.dst) in blocked) or not target.alive:
+            net.dropped_count += 1
+            trace = net.trace
+            if not trace._noop:
+                trace.emit(net.sim._now, "msg.dropped", msg.src,
+                           dst=msg.dst, msg_kind=msg.kind)
+            return
+        net.delivered_count += 1
+        net.bytes_delivered += msg.size_bytes()
+        trace = net.trace
+        if not trace._noop:
+            trace.emit(net.sim._now, "msg.recv", msg.dst,
+                       msg_kind=msg.kind, src=msg.src, msg_id=msg.msg_id,
+                       seq=msg.seq)
+        target._on_datagram(msg)
+
+
 class ControlNetwork:
     """Datagram fabric between named nodes.
 
@@ -77,7 +143,8 @@ class ControlNetwork:
                  base_delay: float = 0.001, jitter: float = 0.0005,
                  drop_probability: float = 0.0) -> None:
         self.sim = sim
-        self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+        self.trace = trace if trace is not None else TraceRecorder(
+            enabled=False, counting=False)
         self.base_delay = base_delay
         self.jitter = jitter
         self.drop_probability = drop_probability
@@ -153,46 +220,37 @@ class ControlNetwork:
 
     def transmit(self, msg: Message) -> None:
         """Send one datagram.  Loss and partitions silently drop it."""
-        sender = self._endpoints.get(msg.src)
+        endpoints = self._endpoints
+        sender = endpoints.get(msg.src)
         if sender is not None and not sender.alive:
             # A crashed node neither receives nor sends: processes that
             # were mid-request when it died just spin into the void.
             self.dropped_count += 1
             return
-        self.trace.emit(self.sim.now, "msg.send", msg.src,
-                        msg_kind=msg.kind, dst=msg.dst, msg_id=msg.msg_id, seq=msg.seq)
-        if not self.reachable(msg.src, msg.dst):
+        trace = self.trace
+        noop = trace._noop
+        if not noop:
+            trace.emit(self.sim._now, "msg.send", msg.src,
+                       msg_kind=msg.kind, dst=msg.dst, msg_id=msg.msg_id,
+                       seq=msg.seq)
+        blocked = self._blocked
+        if blocked and (msg.src, msg.dst) in blocked:
             self.dropped_count += 1
-            self.trace.emit(self.sim.now, "msg.blocked", msg.src, dst=msg.dst, msg_kind=msg.kind)
+            if not noop:
+                trace.emit(self.sim._now, "msg.blocked", msg.src,
+                           dst=msg.dst, msg_kind=msg.kind)
             return
         if self.drop_probability > 0 and self._rng.random() < self.drop_probability:
             self.dropped_count += 1
-            self.trace.emit(self.sim.now, "msg.dropped", msg.src, dst=msg.dst, msg_kind=msg.kind)
+            if not noop:
+                trace.emit(self.sim._now, "msg.dropped", msg.src,
+                           dst=msg.dst, msg_kind=msg.kind)
             return
-        target = self._endpoints.get(msg.dst)
+        target = endpoints.get(msg.dst)
         if target is None:
             self.dropped_count += 1
             return
-        delay = self._delay()
-
-        def deliver(_ev: Event, target: "Endpoint" = target,
-                    msg: Message = msg) -> None:
-            # A partition may have formed while the datagram was in flight;
-            # model cut links by re-checking at delivery time.
-            if not self.reachable(msg.src, msg.dst) or not target.alive:
-                self.dropped_count += 1
-                self.trace.emit(self.sim.now, "msg.dropped", msg.src, dst=msg.dst, msg_kind=msg.kind)
-                return
-            self.delivered_count += 1
-            self.bytes_delivered += msg.size_bytes()
-            self.trace.emit(self.sim.now, "msg.recv", msg.dst,
-                            msg_kind=msg.kind, src=msg.src, msg_id=msg.msg_id, seq=msg.seq)
-            target._on_datagram(msg)
-
-        ev = self.sim.event()
-        assert ev.callbacks is not None
-        ev.callbacks.append(deliver)
-        ev.succeed(delay=delay)
+        _DeliveryEvent(self, msg, target, self._delay())
 
 
 class Endpoint:
@@ -238,7 +296,11 @@ class Endpoint:
         self._dedup_capacity = dedup_capacity
         # (src, seq) -> ("done", decision, payload) | ("in_progress", None, None)
         self._executed: Dict[Tuple[str, int], Tuple[str, Optional[str], Optional[Dict[str, Any]]]] = {}
-        self._executed_order: List[Tuple[str, int]] = []
+        self._executed_order: Deque[Tuple[str, int]] = deque()
+        # Cached RPC latency histogram family (keyed by registry identity,
+        # invalidated if the endpoint is re-bound to a different registry).
+        self._rpc_hist: Optional["Metric"] = None
+        self._rpc_hist_registry: Optional[object] = None
 
         self.ack_listeners: List[Callable[[Message, float], None]] = []
         self.nack_listeners: List[Callable[[Message], None]] = []
@@ -283,12 +345,12 @@ class Endpoint:
     # -- local time ---------------------------------------------------------
     def local_now(self) -> float:
         """This node's local-clock reading."""
-        return self.clock.local_time(self.sim.now)
+        return self.clock.local_time(self.sim._now)
 
     def local_timeout(self, local_interval: float,
                       value: Any = None) -> Timeout:
         """A timeout measured on this node's local clock."""
-        return self.sim.timeout(self.clock.to_global_interval(local_interval), value)
+        return Timeout(self.sim, self.clock.to_global_interval(local_interval), value)
 
     # -- sending ----------------------------------------------------------------
     def send_datagram(self, msg: Message) -> None:
@@ -314,48 +376,48 @@ class Endpoint:
         """
         pol = policy or self.default_policy
         self._next_seq += 1
-        msg = Message(src=self.name, dst=dst, kind=kind,
-                      payload=dict(payload or {}), seq=self._next_seq)
+        msg = Message(self.name, dst, kind,
+                      dict(payload) if payload else {}, self._next_seq)
         msg.sent_local_time = self.local_now()
-        reply_ev = self.sim.event()
+        sim = self.sim
+        pending = self._pending
+        net = self.net
+        reply_ev = Event(sim)
         attempt_times: Dict[int, float] = {}
         attempt_ids: List[int] = []
 
-        def transmit_attempt(first: bool = False) -> None:
-            # Each attempt is its own datagram object: earlier copies may
-            # still be in flight and must keep their identity.
-            attempt = msg if first else Message(
-                src=msg.src, dst=msg.dst, kind=msg.kind,
-                payload=msg.payload, seq=msg.seq)
-            attempt.sent_local_time = self.local_now()
-            attempt_times[attempt.msg_id] = attempt.sent_local_time
-            attempt_ids.append(attempt.msg_id)
-            self._pending[attempt.msg_id] = reply_ev
-            self.net.transmit(attempt)
-
-        def renewal_time_for(reply: Message) -> float:
-            return attempt_times.get(reply.reply_to or -1,
-                                     msg.sent_local_time)
-
         obs = self.obs
-        t0 = self.sim.now
+        t0 = sim._now
         span = (obs.begin_span(t0, "net.rpc", self.name, msg_kind=kind, dst=dst)
                 if obs is not None else None)
         try:
-            first = True
-            for _attempt in range(pol.attempts):
-                transmit_attempt(first)
-                first = False
-                timeout_ev = self.local_timeout(pol.timeout)
-                outcome = yield self.sim.any_of([reply_ev, timeout_ev])
-                if reply_ev in outcome:
-                    reply: Message = reply_ev.value
-                    if reply.kind == MsgKind.NACK:
+            attempt = msg
+            for n in range(pol.attempts):
+                # Each attempt is its own datagram object: earlier copies
+                # may still be in flight and must keep their identity.
+                if n:
+                    attempt = Message(msg.src, msg.dst, msg.kind,
+                                      msg.payload, msg.seq)
+                sent_local = self.local_now()
+                attempt.sent_local_time = sent_local
+                mid = attempt.msg_id
+                attempt_times[mid] = sent_local
+                attempt_ids.append(mid)
+                pending[mid] = reply_ev
+                net.transmit(attempt)
+                timeout_ev = Timeout(
+                    sim, self.clock.to_global_interval(pol.timeout), None)
+                winner = yield FirstOf(sim, (reply_ev, timeout_ev))
+                if winner is reply_ev:
+                    reply: Message = reply_ev._value
+                    if reply.kind == _NACK:
                         for fn in self.nack_listeners:
                             fn(reply)
                         raise NackError(msg, reply)
+                    renewal_time = attempt_times.get(reply.reply_to or -1,
+                                                     msg.sent_local_time)
                     for fn in self.ack_listeners:
-                        fn(reply, renewal_time_for(reply))
+                        fn(reply, renewal_time)
                     if reply.payload.get("__pending__"):
                         final = yield from self._await_result(
                             msg, int(reply.payload["__ticket__"]), pol,
@@ -364,8 +426,8 @@ class Endpoint:
                         return final
                     self._rpc_done(span, kind, t0, "ack")
                     return reply
-            for fn in self.delivery_failure_listeners:
-                fn(dst, msg)
+            for dfn in self.delivery_failure_listeners:
+                dfn(dst, msg)
             raise DeliveryError(msg, pol.attempts)
         except NackError:
             self._rpc_done(span, kind, t0, "nack")
@@ -375,19 +437,35 @@ class Endpoint:
             raise
         finally:
             for mid in attempt_ids:
-                self._pending.pop(mid, None)
+                pending.pop(mid, None)
 
     def _rpc_done(self, span: Optional["Span"], kind: str, t0: float,
                   status: str) -> None:
         """Close a round-trip span and record its latency histogram."""
-        if self.obs is None:
+        obs = self.obs
+        if obs is None:
             return
         if span is not None:
-            span.end(self.sim.now, status=status)
-        self.obs.registry.histogram(
-            "net.rpc.latency_s", "Request round-trip time (simulated s)",
-            labels=("kind", "status"),
-        ).labels(kind=kind, status=status).observe(self.sim.now - t0)
+            span.end(self.sim._now, status=status)
+        registry = obs.registry
+        hist = self._rpc_hist
+        if hist is None or self._rpc_hist_registry is not registry:
+            hist = registry.histogram(
+                "net.rpc.latency_s", "Request round-trip time (simulated s)",
+                labels=("kind", "status"))
+            self._rpc_hist = hist
+            self._rpc_hist_registry = registry
+        hist.labels(kind=kind, status=status).observe(self.sim._now - t0)
+
+    def _fresh_result_event(self, ticket: int) -> Event:
+        """Register a waiter for a deferred-transaction result, consuming
+        any result that arrived ahead of its pending-ACK."""
+        ev = Event(self.sim)
+        early = self._early_results.pop(ticket, None)
+        if early is not None:
+            ev.succeed(early)
+        self._pending_results[ticket] = ev
+        return ev
 
     def _await_result(self, msg: Message, ticket: int, pol: RetryPolicy,
                       attempt_times: Dict[int, float],
@@ -402,15 +480,9 @@ class Endpoint:
         poll is what lets a client ride out a server crash instead of
         sleeping through the whole ``pending_timeout``.
         """
-        def fresh_result_event(tk: int) -> Event:
-            ev = self.sim.event()
-            early = self._early_results.pop(tk, None)
-            if early is not None:
-                ev.succeed(early)
-            self._pending_results[tk] = ev
-            return ev
-
-        result_ev = fresh_result_event(ticket)
+        sim = self.sim
+        pending = self._pending
+        result_ev = self._fresh_result_event(ticket)
         deadline_local = self.local_now() + pol.pending_timeout
         poll_local = max(pol.timeout * 2.0, 1e-6)
         try:
@@ -420,15 +492,14 @@ class Endpoint:
                 # advance the float timeline and would spin forever.
                 if remaining <= 1e-6:
                     raise DeliveryError(msg, pol.attempts)
-                reply_ev = self.sim.event()
+                reply_ev = Event(sim)
                 for mid in attempt_ids:
-                    self._pending[mid] = reply_ev
+                    pending[mid] = reply_ev
                 timeout_ev = self.local_timeout(
                     max(min(poll_local, remaining), 1e-6))
-                outcome = yield self.sim.any_of(
-                    [result_ev, reply_ev, timeout_ev])
-                if result_ev in outcome:
-                    decision, payload = result_ev.value
+                winner = yield FirstOf(sim, (result_ev, reply_ev, timeout_ev))
+                if winner is result_ev:
+                    decision, payload = result_ev._value
                     if decision == "nack":
                         nack = Nack(msg.dst, self.name, msg.msg_id,
                                     payload=payload)
@@ -436,40 +507,42 @@ class Endpoint:
                             fn(nack)
                         raise NackError(msg, nack)
                     return Ack(msg.dst, self.name, msg.msg_id, payload=payload)
-                if reply_ev in outcome:
-                    reply: Message = reply_ev.value
-                    if reply.kind == MsgKind.NACK:
+                if winner is reply_ev:
+                    reply: Message = reply_ev._value
+                    if reply.kind == _NACK:
                         for fn in self.nack_listeners:
                             fn(reply)
                         raise NackError(msg, reply)
+                    renewal_time = attempt_times.get(reply.reply_to or -1,
+                                                     msg.sent_local_time)
                     for fn in self.ack_listeners:
-                        fn(reply, attempt_times.get(reply.reply_to or -1,
-                                                    msg.sent_local_time))
+                        fn(reply, renewal_time)
                     if reply.payload.get("__pending__"):
                         new_ticket = int(reply.payload["__ticket__"])
                         if new_ticket != ticket:
                             self._pending_results.pop(ticket, None)
                             ticket = new_ticket
-                            result_ev = fresh_result_event(ticket)
+                            result_ev = self._fresh_result_event(ticket)
                         continue
                     return reply  # re-execution answered directly
                 # Poll timeout: a fresh initiation nudging the server (its
                 # ACK renews the lease from this new send time).
-                poll_msg = Message(src=msg.src, dst=msg.dst, kind=msg.kind,
-                                   payload=msg.payload, seq=msg.seq)
+                poll_msg = Message(msg.src, msg.dst, msg.kind,
+                                   msg.payload, msg.seq)
                 poll_msg.sent_local_time = self.local_now()
                 attempt_times[poll_msg.msg_id] = poll_msg.sent_local_time
                 attempt_ids.append(poll_msg.msg_id)
-                self._pending[poll_msg.msg_id] = reply_ev
+                pending[poll_msg.msg_id] = reply_ev
                 self.net.transmit(poll_msg)
         finally:
             self._pending_results.pop(ticket, None)
 
     # -- receiving -----------------------------------------------------------
     def _on_datagram(self, msg: Message) -> None:
-        if msg.is_reply():
+        kind = msg.kind
+        if kind == _ACK or kind == _NACK:
             ev = self._pending.get(msg.reply_to or -1)
-            if ev is not None and not ev.triggered:
+            if ev is not None and not ev._triggered:
                 ev.succeed(msg)
             # Replies to forgotten/duplicate requests are dropped silently.
             return
@@ -535,7 +608,7 @@ class Endpoint:
                    dict(msg.payload.get("__payload__") or {}))
         ev = self._pending_results.get(ticket)
         if ev is not None:
-            if not ev.triggered:
+            if not ev._triggered:
                 ev.succeed(outcome)
         else:
             # Reordered ahead of the pending ACK; park it for _await_result.
@@ -588,9 +661,10 @@ class Endpoint:
 
     def _remember(self, key: Tuple[str, int],
                   entry: Tuple[str, Any, Any]) -> None:
-        if key not in self._executed:
-            self._executed_order.append(key)
-            if len(self._executed_order) > self._dedup_capacity:
-                evict = self._executed_order.pop(0)
-                self._executed.pop(evict, None)
-        self._executed[key] = entry
+        executed = self._executed
+        if key not in executed:
+            order = self._executed_order
+            order.append(key)
+            if len(order) > self._dedup_capacity:
+                executed.pop(order.popleft(), None)
+        executed[key] = entry

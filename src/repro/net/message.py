@@ -5,12 +5,15 @@ guarantee.  Requests carry a per-sender sequence number so receivers can
 implement "at most once" execution, and every request is answered by an
 :class:`Ack` (carrying the reply payload) or a :class:`Nack` (the §3.3
 signal that the sender's cache is invalid and its lease will not renew).
+
+:class:`Message` is a plain ``__slots__`` class rather than a dataclass:
+one is allocated per transmission attempt, which makes construction a
+transport hot path.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
 
@@ -108,8 +111,12 @@ KIND_GROUPS: Dict[str, Tuple[str, ...]] = {
 
 _msg_counter = itertools.count(1)
 
+# Locals for the reply-kind test so is_reply() does two string compares
+# against preresolved constants instead of a tuple membership lookup.
+_ACK_KIND = MsgKind.ACK
+_NACK_KIND = MsgKind.NACK
 
-@dataclass
+
 class Message:
     """One datagram on the control network.
 
@@ -118,21 +125,31 @@ class Message:
     replies (``reply_to``).
     """
 
-    src: str
-    dst: str
-    kind: str
-    payload: Dict[str, Any] = field(default_factory=dict)
-    seq: int = 0
-    msg_id: int = field(default_factory=lambda: next(_msg_counter))
-    reply_to: Optional[int] = None
-    # Local send time stamped by the sender's clock — the lease start
-    # point t_C1 of Fig. 3.  Carried on the message object for the
-    # sender's own bookkeeping; the receiver never interprets it.
-    sent_local_time: float = 0.0
+    __slots__ = ("src", "dst", "kind", "payload", "seq", "msg_id",
+                 "reply_to", "sent_local_time")
+
+    def __init__(self, src: str, dst: str, kind: str,
+                 payload: Optional[Dict[str, Any]] = None,
+                 seq: int = 0,
+                 msg_id: Optional[int] = None,
+                 reply_to: Optional[int] = None,
+                 sent_local_time: float = 0.0) -> None:
+        self.src = src
+        self.dst = dst
+        self.kind = kind
+        self.payload: Dict[str, Any] = {} if payload is None else payload
+        self.seq = seq
+        self.msg_id = next(_msg_counter) if msg_id is None else msg_id
+        self.reply_to = reply_to
+        # Local send time stamped by the sender's clock — the lease start
+        # point t_C1 of Fig. 3.  Carried on the message object for the
+        # sender's own bookkeeping; the receiver never interprets it.
+        self.sent_local_time = sent_local_time
 
     def is_reply(self) -> bool:
         """True for ACK/NACK transport messages."""
-        return self.kind in (MsgKind.ACK, MsgKind.NACK)
+        kind = self.kind
+        return kind == _ACK_KIND or kind == _NACK_KIND
 
     def size_bytes(self) -> int:
         """Rough wire size: fixed header plus payload data length.
@@ -143,26 +160,45 @@ class Message:
         """
         return 64 + int(self.payload.get("data_bytes", 0))
 
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"{type(self).__name__}(src={self.src!r}, dst={self.dst!r}, "
+                f"kind={self.kind!r}, seq={self.seq}, msg_id={self.msg_id}, "
+                f"reply_to={self.reply_to})")
 
-@dataclass
+
 class Ack(Message):
     """Positive acknowledgment carrying the transaction reply payload."""
 
+    __slots__ = ()
+
     def __init__(self, src: str, dst: str, reply_to: int,
                  payload: Optional[Dict[str, Any]] = None) -> None:
-        super().__init__(src=src, dst=dst, kind=MsgKind.ACK,
-                         payload=payload or {}, reply_to=reply_to)
+        self.src = src
+        self.dst = dst
+        self.kind = _ACK_KIND
+        self.payload = {} if payload is None else payload
+        self.seq = 0
+        self.msg_id = next(_msg_counter)
+        self.reply_to = reply_to
+        self.sent_local_time = 0.0
 
 
-@dataclass
 class Nack(Message):
     """Negative acknowledgment (§3.3): "you missed a message; your cache
     is invalid; I will not renew your lease"."""
 
+    __slots__ = ()
+
     def __init__(self, src: str, dst: str, reply_to: int,
                  payload: Optional[Dict[str, Any]] = None) -> None:
-        super().__init__(src=src, dst=dst, kind=MsgKind.NACK,
-                         payload=payload or {}, reply_to=reply_to)
+        self.src = src
+        self.dst = dst
+        self.kind = _NACK_KIND
+        self.payload = {} if payload is None else payload
+        self.seq = 0
+        self.msg_id = next(_msg_counter)
+        self.reply_to = reply_to
+        self.sent_local_time = 0.0
 
 
 class DeliveryError(Exception):

@@ -51,7 +51,8 @@ class SanFabric:
         its turn, which is what makes the disk — not the metadata
         server — the throughput ceiling of the direct-access model."""
         self.sim = sim
-        self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+        self.trace = trace if trace is not None else TraceRecorder(
+            enabled=False, counting=False)
         self.base_latency = base_latency
         self.per_block_latency = per_block_latency
         self.per_device_queueing = per_device_queueing
@@ -187,8 +188,10 @@ class SanFabric:
         versions = disk.write(initiator, self.sim.now, block_tags)
         self.io_count += 1
         self.bytes_written += len(block_tags) * BLOCK_SIZE
-        self.trace.emit(self.sim.now, "san.write", initiator, device=device,
-                        n_blocks=len(block_tags))
+        trace = self.trace
+        if not trace._noop:
+            trace.emit(self.sim.now, "san.write", initiator, device=device,
+                       n_blocks=len(block_tags))
         return versions
 
     def read(self, initiator: str, device: str, lba: int, count: int = 1,
@@ -200,8 +203,10 @@ class SanFabric:
         result = disk.read(initiator, self.sim.now, lba, count)
         self.io_count += 1
         self.bytes_read += count * BLOCK_SIZE
-        self.trace.emit(self.sim.now, "san.read", initiator, device=device,
-                        n_blocks=count)
+        trace = self.trace
+        if not trace._noop:
+            trace.emit(self.sim.now, "san.read", initiator, device=device,
+                       n_blocks=count)
         return result
 
     def dlock_acquire(self, initiator: str, device: str, start_lba: int,

@@ -50,7 +50,7 @@ class Observability:
 
     def __init__(self, registry: Optional[MetricsRegistry] = None,
                  tracer: Optional[SpanTracer] = None,
-                 spans_enabled: bool = False):
+                 spans_enabled: bool = False) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else SpanTracer()
         self.spans_enabled = spans_enabled

@@ -52,7 +52,7 @@ def write_artifact(document: Mapping[str, Any], path: str) -> None:
 def load_artifact(path: str) -> Dict[str, Any]:
     """Load an artifact, validating its schema stamp."""
     with open(path, "r", encoding="utf-8") as fh:
-        document = json.load(fh)
+        document: Dict[str, Any] = json.load(fh)
     schema = document.get("schema")
     if schema != ARTIFACT_SCHEMA:
         raise ValueError(

@@ -26,6 +26,7 @@ Design notes:
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 #: Default histogram bucket upper bounds (simulated seconds).
@@ -49,7 +50,7 @@ class _Child:
 
     __slots__ = ("labels",)
 
-    def __init__(self, labels: Dict[str, str]):
+    def __init__(self, labels: Dict[str, str]) -> None:
         self.labels = labels
 
 
@@ -58,7 +59,7 @@ class CounterChild(_Child):
 
     __slots__ = ("_value",)
 
-    def __init__(self, labels: Dict[str, str]):
+    def __init__(self, labels: Dict[str, str]) -> None:
         super().__init__(labels)
         self._value = 0.0
 
@@ -79,7 +80,7 @@ class GaugeChild(_Child):
 
     __slots__ = ("_value", "_fn")
 
-    def __init__(self, labels: Dict[str, str]):
+    def __init__(self, labels: Dict[str, str]) -> None:
         super().__init__(labels)
         self._value = 0.0
         self._fn: Optional[Callable[[], float]] = None
@@ -114,7 +115,8 @@ class HistogramChild(_Child):
 
     __slots__ = ("buckets", "bucket_counts", "count", "sum")
 
-    def __init__(self, labels: Dict[str, str], buckets: Tuple[float, ...]):
+    def __init__(self, labels: Dict[str, str],
+                 buckets: Tuple[float, ...]) -> None:
         super().__init__(labels)
         self.buckets = buckets
         self.bucket_counts = [0] * (len(buckets) + 1)  # +inf overflow bucket
@@ -125,11 +127,9 @@ class HistogramChild(_Child):
         """Record one observation."""
         self.count += 1
         self.sum += value
-        for i, bound in enumerate(self.buckets):
-            if value <= bound:
-                self.bucket_counts[i] += 1
-                return
-        self.bucket_counts[-1] += 1
+        # First bound with value <= bound, i.e. bisect_left; index
+        # len(buckets) lands in the +inf overflow slot.
+        self.bucket_counts[bisect_left(self.buckets, value)] += 1
 
     @property
     def value(self) -> float:
@@ -156,9 +156,12 @@ _CHILD_TYPES = {"counter": CounterChild, "gauge": GaugeChild,
 class Metric:
     """One named metric family: a kind, label names and children."""
 
+    __slots__ = ("name", "kind", "help", "label_names", "max_label_sets",
+                 "buckets", "_children", "_nolabel_child")
+
     def __init__(self, name: str, kind: str, help: str,
                  label_names: Tuple[str, ...], max_label_sets: int,
-                 buckets: Tuple[float, ...] = DEFAULT_BUCKETS):
+                 buckets: Tuple[float, ...] = DEFAULT_BUCKETS) -> None:
         self.name = name
         self.kind = kind
         self.help = help
@@ -166,27 +169,49 @@ class Metric:
         self.max_label_sets = max_label_sets
         self.buckets = buckets
         self._children: Dict[Tuple[str, ...], _Child] = {}
+        # Cached child for the common label-less family: labels() on a
+        # hot path then costs one attribute read, no dict or tuple work.
+        self._nolabel_child: Optional[_Child] = None
 
     def labels(self, **labels: str) -> Any:
         """The child instrument for one label set (created on demand)."""
-        if tuple(sorted(labels)) != tuple(sorted(self.label_names)):
+        names = self.label_names
+        if not labels and not names:
+            child = self._nolabel_child
+            if child is None:
+                child = self._nolabel_child = self._materialize(())
+            return child
+        # Direct key build doubles as validation: a missing name raises
+        # KeyError, extras are caught by the length check — no per-call
+        # sorting of the label names.
+        try:
+            key = tuple(str(labels[k]) for k in names)
+        except KeyError:
             raise MetricError(
-                f"{self.name}: expected labels {self.label_names}, "
+                f"{self.name}: expected labels {names}, "
+                f"got {tuple(sorted(labels))}") from None
+        if len(labels) != len(names):
+            raise MetricError(
+                f"{self.name}: expected labels {names}, "
                 f"got {tuple(sorted(labels))}")
-        key = tuple(str(labels[k]) for k in self.label_names)
         child = self._children.get(key)
         if child is None:
-            if len(self._children) >= self.max_label_sets:
-                raise CardinalityError(
-                    f"{self.name}: more than {self.max_label_sets} label sets "
-                    f"(label names {self.label_names}); pick lower-cardinality "
-                    f"labels or raise ObservabilityConfig.max_label_sets")
-            lbl = {k: str(labels[k]) for k in self.label_names}
-            if self.kind == "histogram":
-                child = HistogramChild(lbl, self.buckets)
-            else:
-                child = _CHILD_TYPES[self.kind](lbl)
-            self._children[key] = child
+            child = self._materialize(key)
+        return child
+
+    def _materialize(self, key: Tuple[str, ...]) -> _Child:
+        if len(self._children) >= self.max_label_sets:
+            raise CardinalityError(
+                f"{self.name}: more than {self.max_label_sets} label sets "
+                f"(label names {self.label_names}); pick lower-cardinality "
+                f"labels or raise ObservabilityConfig.max_label_sets")
+        lbl = dict(zip(self.label_names, key))
+        child: _Child
+        if self.kind == "histogram":
+            child = HistogramChild(lbl, self.buckets)
+        else:
+            child = _CHILD_TYPES[self.kind](lbl)
+        self._children[key] = child
         return child
 
     @property
@@ -204,7 +229,7 @@ class MetricsRegistry:
     """Collection point for every metric family of one system."""
 
     def __init__(self, max_label_sets: int = DEFAULT_MAX_LABEL_SETS,
-                 default_buckets: Tuple[float, ...] = DEFAULT_BUCKETS):
+                 default_buckets: Tuple[float, ...] = DEFAULT_BUCKETS) -> None:
         self.max_label_sets = max_label_sets
         self.default_buckets = tuple(default_buckets)
         self._families: Dict[str, Metric] = {}

@@ -38,7 +38,7 @@ def active() -> Optional["RunCollector"]:
 
 
 @contextmanager
-def use(collector: "RunCollector"):
+def use(collector: "RunCollector") -> Generator["RunCollector", None, None]:
     """Install ``collector`` for the duration of the with-block."""
     global _ACTIVE
     prev = _ACTIVE
@@ -50,7 +50,7 @@ def use(collector: "RunCollector"):
 
 
 @contextmanager
-def collecting(**manifest_kwargs):
+def collecting(**manifest_kwargs: Any) -> Generator["RunCollector", None, None]:
     """Create and install a fresh :class:`RunCollector` in one step."""
     with use(RunCollector(**manifest_kwargs)) as collector:
         yield collector
@@ -59,7 +59,8 @@ def collecting(**manifest_kwargs):
 class _RunRecord:
     """One observed system: labels, its obs handle and sampled series."""
 
-    def __init__(self, name: str, labels: Dict[str, str], system: Any):
+    def __init__(self, name: str, labels: Dict[str, str],
+                 system: Any) -> None:
         self.name = name
         self.labels = labels
         self.system = system
@@ -71,7 +72,8 @@ class RunCollector:
     """Accumulates per-system overhead series and registry snapshots."""
 
     def __init__(self, experiment: str = "", seed: Optional[int] = None,
-                 sample_interval: Optional[float] = None, **extra: Any):
+                 sample_interval: Optional[float] = None,
+                 **extra: Any) -> None:
         self.experiment = experiment
         self.seed = seed
         self.sample_interval = sample_interval

@@ -29,7 +29,7 @@ class Span:
 
     def __init__(self, tracer: "SpanTracer", span_id: int,
                  parent_id: Optional[int], kind: str, node: str,
-                 start: float, attrs: Dict[str, Any]):
+                 start: float, attrs: Dict[str, Any]) -> None:
         self._tracer = tracer
         self.span_id = span_id
         self.parent_id = parent_id
@@ -83,7 +83,7 @@ class SpanTracer:
     """
 
     def __init__(self, trace: Optional[TraceRecorder] = None,
-                 max_spans: int = 100_000):
+                 max_spans: int = 100_000) -> None:
         self.trace = trace
         self.max_spans = max_spans
         self._ids = itertools.count(1)

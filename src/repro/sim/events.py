@@ -5,14 +5,38 @@ with a value or failed with an exception) and then fire their callbacks
 when the simulator pops them off the schedule.  Processes wait on events
 by ``yield``-ing them; composite events (:class:`AnyOf`, :class:`AllOf`)
 let a process wait on several conditions at once.
+
+Hot-path design notes (the kernel is the floor under every experiment,
+fuzz batch and benchmark):
+
+- every event class uses ``__slots__``;
+- the single-waiter case (one process blocked on one event — by far the
+  common shape) bypasses the callbacks list entirely via the ``_waiter``
+  slot, letting the run loop resume the process without allocating or
+  iterating a list;
+- :class:`Timeout` skips the generic ``__init__``/``_schedule`` call
+  chain and pushes itself straight onto the schedule heap;
+- :class:`FirstOf` is a lean n-ary race used by the transport retry
+  loops in place of :class:`AnyOf` (no per-wait dict building).
+
+None of this changes event *ordering*: the schedule key sequence and the
+callback registration order are exactly what the pre-optimization kernel
+produced, which is what keeps pinned trace hashes bit-identical.
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Callable, List, Optional, Sequence, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.kernel import Simulator
+
+#: Added to the schedule-key sequence number for normal (non-priority)
+#: events; priority events (interrupts) keep the bare sequence number so
+#: they sort ahead of same-time normals.  Far above any realistic event
+#: count, so keys never collide across the two bands.
+NORMAL_BAND = 1 << 62
 
 
 class SimulationError(RuntimeError):
@@ -37,10 +61,13 @@ class Event:
 
     An event goes through three states: *pending* (just created),
     *triggered* (value/exception decided, scheduled on the heap) and
-    *processed* (callbacks ran).  Waiting processes register callbacks.
+    *processed* (callbacks ran).  Waiting processes register callbacks —
+    a single waiting process occupies the ``_waiter`` fast slot instead
+    of the ``callbacks`` list.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_exc", "_triggered", "_processed", "_defused")
+    __slots__ = ("sim", "callbacks", "_value", "_exc", "_triggered",
+                 "_processed", "_defused", "_waiter")
 
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
@@ -52,6 +79,7 @@ class Event:
         # A failed event whose exception was delivered to some waiter is
         # "defused"; undefused failures surface when the event fires.
         self._defused = False
+        self._waiter: Optional[Callable[["Event"], None]] = None
 
     # -- state inspection -------------------------------------------------
     @property
@@ -83,6 +111,19 @@ class Event:
         """The failure exception, or None."""
         return self._exc
 
+    # -- waiter registration (kernel internal) ----------------------------
+    def _add_callback(self, cb: Callable[["Event"], None]) -> None:
+        """Register a fire callback, filling the single-waiter fast slot
+        when this event has no registrants yet (preserves registration
+        order: the waiter slot always fires before the callbacks list)."""
+        cbs = self.callbacks
+        if self._waiter is None and not cbs:
+            self._waiter = cb
+        elif cbs is None:
+            self.callbacks = [cb]
+        else:
+            cbs.append(cb)
+
     # -- triggering --------------------------------------------------------
     def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
         """Mark the event successful and schedule it ``delay`` from now."""
@@ -110,14 +151,18 @@ class Event:
 
     # -- kernel hook ---------------------------------------------------------
     def _fire(self) -> None:
-        """Run callbacks.  Called exactly once by the simulator loop."""
-        callbacks, self.callbacks = self.callbacks, None
+        """Run the waiter and callbacks.  Called once by the simulator loop."""
         self._processed = True
-        assert callbacks is not None
-        for cb in callbacks:
-            cb(self)
-        if self._exc is not None and not self._defused:
-            raise self._exc
+        waiter, self._waiter = self._waiter, None
+        callbacks, self.callbacks = self.callbacks, None
+        if waiter is not None:
+            waiter(self)
+        if callbacks:
+            for cb in callbacks:
+                cb(self)
+        exc = self._exc
+        if exc is not None and not self._defused:
+            raise exc
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "processed" if self._processed else ("triggered" if self._triggered else "pending")
@@ -125,18 +170,31 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that succeeds ``delay`` simulated seconds after creation."""
+    """An event that succeeds ``delay`` simulated seconds after creation.
+
+    Construction is the kernel's hottest allocation site, so it writes
+    every slot directly and pushes itself onto the schedule heap without
+    going through ``Event.__init__``/``Simulator._schedule``.  The
+    callbacks list stays ``None`` until a second registrant appears.
+    """
 
     __slots__ = ("delay",)
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay {delay!r}")
-        super().__init__(sim)
-        self.delay = delay
-        self._triggered = True
+        self.sim = sim
+        self.callbacks = None
         self._value = value
-        sim._schedule(self, delay)
+        self._exc = None
+        self._triggered = True
+        self._processed = False
+        self._defused = False
+        self._waiter = None
+        self.delay = delay
+        seq = sim._seq + 1
+        sim._seq = seq
+        heappush(sim._heap, (sim._now + delay, NORMAL_BAND + seq, self))
 
 
 class _Condition(Event):
@@ -151,14 +209,14 @@ class _Condition(Event):
         if not self.events:
             self.succeed({})
             return
+        check = self._check
         for ev in self.events:
             if ev.sim is not sim:
                 raise SimulationError("condition mixes events from different simulators")
             if ev._processed:
-                self._check(ev)
+                check(ev)
             else:
-                assert ev.callbacks is not None
-                ev.callbacks.append(self._check)
+                ev._add_callback(check)
 
     def _check(self, event: Event) -> None:
         raise NotImplementedError
@@ -198,3 +256,48 @@ class AllOf(_Condition):
         self._count += 1
         if self._count == len(self.events) and not self._triggered:
             self.succeed(self._collect())
+
+
+class FirstOf(Event):
+    """Race: succeeds with the first child event that fires (the *winner*
+    event itself is the value), fails with the first child failure.
+
+    The transport's retry loops used to build an :class:`AnyOf` plus a
+    result dict per attempt; this races the same children with no list,
+    no dict and no per-child bound-method allocation.  Children are
+    checked in argument order, so when several are already processed the
+    earliest argument wins — the same precedence the old membership
+    checks (``reply_ev in outcome``) applied.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: Sequence[Event]) -> None:
+        self.sim = sim
+        self.callbacks = None
+        self._value = None
+        self._exc = None
+        self._triggered = False
+        self._processed = False
+        self._defused = False
+        self._waiter = None
+        check = self._check
+        for ev in events:
+            if ev.sim is not sim:
+                raise SimulationError("race mixes events from different simulators")
+            if ev._processed:
+                check(ev)
+            else:
+                ev._add_callback(check)
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        exc = event._exc
+        if exc is not None:
+            event.defuse()
+            self.fail(exc)
+            return
+        self._triggered = True
+        self._value = event
+        self.sim._schedule(self, 0.0)

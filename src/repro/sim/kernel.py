@@ -1,18 +1,30 @@
 """The simulator event loop.
 
-Deterministic: the schedule is a heap keyed by ``(time, insertion
-sequence)``, so same-time events fire in insertion order regardless of
-hashing or interning.  All randomness in a simulation flows through
+Deterministic: the schedule is a heap keyed by ``(time, key)`` where
+``key`` encodes priority band and insertion sequence, so same-time
+events fire in insertion order regardless of hashing or interning.  All
+randomness in a simulation flows through
 :class:`repro.sim.rng.RandomStreams`, so a run is fully reproducible
 from its seed.
+
+Hot-path design notes: heap entries are 3-tuples ``(time, key, event)``
+— the old ``(time, priority, seq, event)`` 4-tuple folded its middle
+two fields into a single int (priority events keep the bare sequence
+number, normal events add :data:`repro.sim.events.NORMAL_BAND`), which
+both shrinks the tuple and cuts a comparison level in the heap.
+:meth:`Simulator.run` with no bounds (the overwhelmingly common call)
+uses a closure-free tight loop with bound-local ``heappop`` and an
+inline single-waiter dispatch that skips the generic
+:meth:`Event._fire` machinery.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Iterable, List, Optional, Tuple
 
-from repro.sim.events import AllOf, AnyOf, Event, SimulationError, Timeout
+from repro.sim.events import (NORMAL_BAND, AllOf, AnyOf, Event, FirstOf,
+                              SimulationError, Timeout)
 from repro.sim.process import Process, ProcessGenerator
 
 
@@ -21,7 +33,7 @@ class Simulator:
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
-        self._heap: List[Tuple[float, int, int, Event]] = []
+        self._heap: List[Tuple[float, int, Event]] = []
         self._seq = 0
         self._active_process: Optional[Process] = None
 
@@ -57,13 +69,17 @@ class Simulator:
         """Condition event firing when all children succeed."""
         return AllOf(self, list(events))
 
+    def first_of(self, events: Iterable[Event]) -> FirstOf:
+        """Race event whose value is the first child event to fire."""
+        return FirstOf(self, list(events))
+
     # -- scheduling (kernel internal) ------------------------------------
     def _schedule(self, event: Event, delay: float, priority: bool = False) -> None:
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        self._seq += 1
+        self._seq = seq = self._seq + 1
         # priority events (interrupts) sort ahead of same-time normals
-        heapq.heappush(self._heap, (self._now + delay, 0 if priority else 1, self._seq, event))
+        heappush(self._heap, (self._now + delay, seq if priority else NORMAL_BAND + seq, event))
 
     # -- main loop -----------------------------------------------------------
     def peek(self) -> float:
@@ -74,7 +90,7 @@ class Simulator:
         """Pop and fire exactly one event."""
         if not self._heap:
             raise SimulationError("step() on an empty schedule")
-        t, _prio, _seq, event = heapq.heappop(self._heap)
+        t, _key, event = heappop(self._heap)
         if t < self._now:
             raise SimulationError("schedule corruption: time went backwards")
         self._now = t
@@ -86,6 +102,25 @@ class Simulator:
         Returns the simulation time when the loop stopped.  ``max_events``
         is a safety valve for runaway simulations.
         """
+        if until is None and max_events is None:
+            # Tight unbounded loop: bound locals, inline single-waiter
+            # dispatch (equivalent to Event._fire with one registrant and
+            # no failure — the dominant case by far).
+            heap = self._heap
+            pop = heappop
+            while heap:
+                t, _key, event = pop(heap)
+                self._now = t
+                waiter = event._waiter
+                if waiter is not None and event._exc is None and not event.callbacks:
+                    event._waiter = None
+                    event.callbacks = None
+                    event._processed = True
+                    waiter(event)
+                else:
+                    event._fire()
+            return self._now
+
         count = 0
         while self._heap:
             if until is not None and self._heap[0][0] > until:

@@ -5,11 +5,17 @@ instances.  The process resumes when the yielded event fires, receiving
 the event's value (or its exception raised at the yield point).  A
 process is itself an event that triggers when the generator returns, so
 processes can wait on each other.
+
+Hot-path design notes: the resume callback is bound once per process
+(``_resume_cb``) rather than materialized on every yield, bootstrap and
+interrupt events are built by direct slot writes, and registration goes
+through :meth:`Event._add_callback` so a lone waiting process sits in
+the event's ``_waiter`` fast slot.
 """
 
 from __future__ import annotations
 
-from typing import Any, Generator, Optional, TYPE_CHECKING
+from typing import Any, Callable, Generator, Optional, TYPE_CHECKING
 
 from repro.sim.events import Event, Interrupt, SimulationError
 
@@ -26,7 +32,7 @@ class Process(Event):
     finishes, or failed with its uncaught exception.
     """
 
-    __slots__ = ("gen", "name", "_target", "_alive")
+    __slots__ = ("gen", "name", "_target", "_alive", "_resume_cb")
 
     def __init__(self, sim: "Simulator", gen: ProcessGenerator, name: Optional[str] = None) -> None:
         super().__init__(sim)
@@ -36,11 +42,18 @@ class Process(Event):
         self.name = name or getattr(gen, "__name__", "process")
         self._target: Optional[Event] = None
         self._alive = True
+        self._resume_cb: Callable[[Event], None] = self._resume
         # Bootstrap: resume once the init event fires.
-        init = Event(sim)
-        init.succeed()
-        assert init.callbacks is not None
-        init.callbacks.append(self._resume)
+        init = Event.__new__(Event)
+        init.sim = sim
+        init.callbacks = None
+        init._value = None
+        init._exc = None
+        init._triggered = True
+        init._processed = False
+        init._defused = False
+        init._waiter = self._resume_cb
+        sim._schedule(init, 0.0)
 
     @property
     def is_alive(self) -> bool:
@@ -61,81 +74,92 @@ class Process(Event):
         """
         if not self._alive:
             raise SimulationError(f"cannot interrupt dead process {self.name!r}")
-        ev = Event(self.sim)
-        ev._triggered = True
+        ev = Event.__new__(Event)
+        ev.sim = self.sim
+        ev.callbacks = None
+        ev._value = None
         ev._exc = Interrupt(cause)
+        ev._triggered = True
+        ev._processed = False
         ev._defused = True
-        assert ev.callbacks is not None
-        ev.callbacks.append(self._resume)
+        ev._waiter = self._resume_cb
         self.sim._schedule(ev, 0.0, priority=True)
 
     # -- resumption ----------------------------------------------------------
     def _resume(self, event: Event) -> None:
         if not self._alive:
             return
-        if isinstance(event._exc, Interrupt):
+        exc = event._exc
+        if exc is not None and isinstance(exc, Interrupt):
             # Detach from the current wait target; its later firing must
             # not resume this process a second time.
             tgt = self._target
-            if tgt is not None and tgt.callbacks is not None and self._resume in tgt.callbacks:
-                tgt.callbacks.remove(self._resume)
+            if tgt is not None:
+                cb = self._resume_cb
+                if tgt._waiter is cb:
+                    tgt._waiter = None
+                elif tgt.callbacks is not None and cb in tgt.callbacks:
+                    tgt.callbacks.remove(cb)
         elif self._target is not None and event is not self._target:
             return  # stale wake-up from a pre-interrupt target
         self._target = None
 
-        self.sim._active_process = self
+        sim = self.sim
+        sim._active_process = self
         try:
-            if event._exc is not None:
+            if exc is not None:
                 # Delivering the exception to this process counts as
                 # handling it at the kernel level.
-                event.defuse()
-                nxt = self.gen.throw(event._exc)
+                event._defused = True
+                nxt = self.gen.throw(exc)
             else:
                 nxt = self.gen.send(event._value)
         except StopIteration as stop:
             self._alive = False
             self.succeed(stop.value)
             return
-        except Interrupt as exc:
+        except Interrupt as interrupt_exc:
             # An uncaught interrupt terminates the process quietly: the
             # interruptor asked for exactly this.
             self._alive = False
             self._triggered = True
-            self._exc = exc
+            self._exc = interrupt_exc
             self._defused = True
-            self.sim._schedule(self, 0.0)
+            sim._schedule(self, 0.0)
             return
-        except BaseException as exc:
+        except BaseException as fail_exc:
             self._alive = False
-            self.fail(exc)
+            self.fail(fail_exc)
             return
         finally:
-            self.sim._active_process = None
+            sim._active_process = None
 
-        if not isinstance(nxt, Event) or nxt.sim is not self.sim:
+        if not isinstance(nxt, Event) or nxt.sim is not sim:
             self._alive = False
             self.fail(SimulationError(f"process {self.name!r} yielded invalid target {nxt!r}"))
             return
 
         if nxt._processed:
             # The target already fired; resume via a proxy on the next round.
-            proxy = Event(self.sim)
+            proxy = Event.__new__(Event)
+            proxy.sim = sim
+            proxy.callbacks = None
             proxy._triggered = True
+            proxy._processed = False
             proxy._value = nxt._value
             proxy._exc = nxt._exc
+            proxy._defused = False
             if nxt._exc is not None:
-                nxt.defuse()
+                nxt._defused = True
                 proxy._defused = True
+            proxy._waiter = self._resume_cb
             self._target = proxy
-            assert proxy.callbacks is not None
-            proxy.callbacks.append(self._resume)
-            self.sim._schedule(proxy, 0.0)
+            sim._schedule(proxy, 0.0)
         else:
             if nxt._exc is not None:
-                nxt.defuse()
+                nxt._defused = True
             self._target = nxt
-            assert nxt.callbacks is not None
-            nxt.callbacks.append(self._resume)
+            nxt._add_callback(self._resume_cb)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Process {self.name!r} {'alive' if self._alive else 'dead'}>"

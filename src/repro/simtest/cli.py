@@ -29,6 +29,7 @@ from repro.obs.artifact import (load_artifact, make_failure_artifact,
                                 write_artifact)
 from repro.sim.rng import RandomStreams
 from repro.simtest.corpus import bless_corpus, replay_corpus
+from repro.simtest.parallel import run_batch_parallel
 from repro.simtest.runner import (BREAK_MODES, SimRunResult, run_schedule)
 from repro.simtest.schedule import Schedule, generate_schedule
 from repro.simtest.shrink import shrink_schedule
@@ -58,6 +59,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--batch-seed", type=int, default=None,
                         help="base seed for --batch (default: --seed); "
                              "printed so the batch is replayable")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for --batch (default 1); "
+                             "seeds are drawn up front and outputs merged "
+                             "in seed order, so results are identical for "
+                             "any N")
     parser.add_argument("--update-corpus", action="store_true",
                         help="re-bless the pinned corpus trace hashes")
     parser.add_argument("--break-mode", default="",
@@ -176,15 +182,19 @@ def _batch(args: argparse.Namespace) -> int:
     base = args.batch_seed if args.batch_seed is not None else args.seed
     print(f"batch of {args.batch} run(s), batch seed {base} "
           f"(replay any failure with --seed <printed seed>)")
+    # The full seed list is drawn up front from the batch stream, so the
+    # schedules are identical regardless of --jobs; workers only change
+    # who executes them.
     rng = RandomStreams(base).get("simtest.batch")
+    seeds = [int(rng.integers(0, 2**31 - 1)) for _ in range(args.batch)]
+    arg_map = dict(vars(args))
+    tasks = [(i, seed, arg_map) for i, seed in enumerate(seeds)]
+    outcomes = run_batch_parallel(tasks, args.jobs)
     failures = 0
-    for i in range(args.batch):
-        seed = int(rng.integers(0, 2**31 - 1))
-        sub = argparse.Namespace(**vars(args))
-        sub.seed = seed
-        sub.batch = None
-        print(f"-- batch run {i + 1}/{args.batch}: seed={seed}")
-        if _fuzz_once(sub) != EXIT_CLEAN:
+    for i, outcome in enumerate(outcomes):
+        print(f"-- batch run {i + 1}/{args.batch}: seed={outcome.seed}")
+        sys.stdout.write(outcome.output)
+        if outcome.exit_code != EXIT_CLEAN:
             failures += 1
     print(f"batch done: {args.batch - failures}/{args.batch} clean")
     return EXIT_CLEAN if failures == 0 else EXIT_VIOLATIONS
@@ -203,6 +213,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--steps must be >= 0")
     if args.batch is not None and args.batch < 1:
         parser.error("--batch must be >= 1")
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    if args.jobs > 1 and args.batch is None:
+        parser.error("--jobs requires --batch")
     if args.replay:
         return _replay(args.replay)
     if args.corpus:

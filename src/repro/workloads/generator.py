@@ -64,7 +64,7 @@ class WorkloadDriver:
 
     def __init__(self, system: StorageTankSystem, client_name: str,
                  paths: List[str], cfg: Optional[WorkloadConfig] = None,
-                 stream: Optional[str] = None):
+                 stream: Optional[str] = None) -> None:
         self.system = system
         self.client = system.client(client_name)
         self.paths = paths

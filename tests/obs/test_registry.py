@@ -123,3 +123,43 @@ def test_snapshot_shape():
 def test_unknown_metric_reads_zero():
     reg = MetricsRegistry()
     assert reg.value("never.declared") == 0.0
+
+
+def test_labels_missing_and_extra_raise_metric_error():
+    reg = MetricsRegistry()
+    c = reg.counter("ops", "ops", labels=("node", "kind"))
+    with pytest.raises(MetricError):
+        c.labels(node="c1")  # missing 'kind'
+    with pytest.raises(MetricError):
+        c.labels(node="c1", kind="read", extra="x")
+    with pytest.raises(MetricError):
+        reg.counter("plain", "no labels").labels(node="c1")
+
+
+def test_labelless_child_is_cached_identity():
+    reg = MetricsRegistry()
+    g = reg.gauge("depth", "queue depth")
+    assert g.labels() is g.labels()
+
+
+def test_labeled_child_is_cached_identity():
+    reg = MetricsRegistry()
+    c = reg.counter("ops", "ops", labels=("node",))
+    assert c.labels(node="c1") is c.labels(node="c1")
+    assert c.labels(node="c1") is not c.labels(node="c2")
+
+
+def test_label_values_coerced_to_str():
+    reg = MetricsRegistry()
+    c = reg.counter("ops", "ops", labels=("shard",))
+    c.labels(shard=3).inc()
+    assert reg.value("ops", shard="3") == 1.0
+
+
+def test_histogram_boundary_values_bucketed_inclusively():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat", "latency", buckets=(0.1, 1.0)).labels()
+    h.observe(0.1)   # == first boundary: belongs to the le=0.1 bucket
+    h.observe(1.0)   # == second boundary: le=1.0 bucket
+    h.observe(2.0)   # overflow bucket
+    assert h.bucket_counts == [1, 1, 1]

@@ -75,3 +75,66 @@ def test_falsy_empty_recorder_still_usable():
     assert not t  # falsy when empty
     t.emit(0.0, "x", "n")
     assert len(t) == 1
+
+
+def test_noop_recorder_skips_counts_and_storage():
+    t = TraceRecorder(enabled=False, counting=False)
+    assert t._noop
+    t.emit(1.0, "a.b", "n", x=1)
+    assert len(t) == 0
+    assert t.count("a.b") == 0
+    assert t.kinds() == {}
+
+
+def test_ring_buffer_evicts_oldest_keeps_counts_exact():
+    t = TraceRecorder(enabled=True, max_records=3)
+    for i in range(10):
+        t.emit(float(i), "a.b", "n", i=i)
+    assert len(t) == 3
+    assert [r.get("i") for r in t.records] == [7, 8, 9]
+    assert t.count("a.b") == 10
+
+
+def test_sample_stride_stores_every_nth_counts_all():
+    t = TraceRecorder(enabled=True, sample_stride=3)
+    for i in range(9):
+        t.emit(float(i), "a.b", "n", i=i)
+    assert [r.get("i") for r in t.records] == [2, 5, 8]
+    assert t.count("a.b") == 9
+
+
+def test_sample_stride_validation():
+    import pytest
+    with pytest.raises(ValueError):
+        TraceRecorder(sample_stride=0)
+
+
+def test_select_kind_uses_index_and_matches_scan():
+    t = TraceRecorder(enabled=True)
+    for i in range(6):
+        t.emit(float(i), "a.b" if i % 2 else "a.c", f"n{i % 3}")
+    indexed = t.select(kind="a.b")
+    scanned = [r for r in t.records if r.kind == "a.b"]
+    assert indexed == scanned
+    assert t.select(kind="a.b", node="n1") == [
+        r for r in scanned if r.node == "n1"]
+
+
+def test_select_kind_correct_without_index():
+    t = TraceRecorder(enabled=True, max_records=10)
+    assert t._by_kind is None  # ring buffer disables the index
+    t.emit(1.0, "a.b", "n1")
+    t.emit(2.0, "a.c", "n1")
+    assert [r.kind for r in t.select(kind="a.b")] == ["a.b"]
+
+
+def test_clear_resets_index_and_stride():
+    t = TraceRecorder(enabled=True, sample_stride=2)
+    t.emit(1.0, "a.b", "n")
+    t.emit(2.0, "a.b", "n")
+    t.clear()
+    assert t.select(kind="a.b") == []
+    t.emit(3.0, "a.b", "n")
+    t.emit(4.0, "a.b", "n")
+    # Stride sequence restarted: the second post-clear emit is stored.
+    assert len(t) == 1
