@@ -6,6 +6,8 @@ so regressions here silently slow every E/A run.  The guides' rule:
 no optimization without measurement — this is the measurement.
 """
 
+from repro.core.config import ScaleConfig, SystemConfig
+from repro.core.system import build_system
 from repro.net import ControlNetwork, Endpoint
 from repro.obs.registry import MetricsRegistry
 from repro.sim import ClockEnsemble, RandomStreams, Simulator
@@ -123,3 +125,22 @@ def _spin_fuzz_step() -> None:
 def test_fuzz_step_throughput(benchmark):
     """One full fuzz run (build system, inject faults, check oracles)."""
     benchmark(_spin_fuzz_step)
+
+
+def _spin_scale_registration(n_clients: int) -> int:
+    cfg = SystemConfig(n_clients=n_clients, protocol="storage_tank",
+                       scale=ScaleConfig(lazy_clients=True))
+    system = build_system(cfg)
+    pooled = system.pooled_leases
+    assert pooled is not None
+    pooled.ensure_capacity(n_clients)
+    for i in range(n_clients):
+        pooled.renew(i, 50.0 + (i % 997) * 0.01)
+    system.sim.run(until=40.0)  # leases all later: pure idle population
+    assert system.sim.pending_events < 64  # O(pools), not O(clients)
+    return n_clients
+
+
+def test_scale_client_registration_throughput(benchmark):
+    """Flyweight-registration rate: build + park 50k clients lazily."""
+    benchmark(_spin_scale_registration, 50_000)

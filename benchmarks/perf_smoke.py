@@ -33,7 +33,8 @@ sys.path.insert(0, "src")  # runnable from the repo root without PYTHONPATH
 
 from bench_infrastructure import (  # noqa: E402
     _spin_fuzz_step, _spin_metrics, _spin_processes, _spin_rpcs,
-    _spin_timeouts, _spin_trace_counting_only, _spin_trace_emits)
+    _spin_scale_registration, _spin_timeouts, _spin_trace_counting_only,
+    _spin_trace_emits)
 
 SCHEMA = "repro.bench-perf/1.0"
 
@@ -56,6 +57,8 @@ BENCHES: Dict[str, Tuple[Callable[[], object], int]] = {
     "trace_counting_only": (lambda: _spin_trace_counting_only(50_000), 50_000),
     "metrics_registry": (lambda: _spin_metrics(50_000), 50_000),
     "fuzz_step": (_spin_fuzz_step, 1),
+    "scale_client_registration": (
+        lambda: _spin_scale_registration(50_000), 50_000),
 }
 
 

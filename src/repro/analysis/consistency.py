@@ -180,7 +180,7 @@ class ConsistencyAuditor:
         # the run are *in flight*, not lost — write-back simply has not
         # happened yet (horizon truncation, not a protocol failure).
         still_dirty: Set[Tuple[str, str]] = set()
-        for cname, client in self.system.clients.items():
+        for cname, client in self.system.pool.live_items():
             cache = getattr(client, "cache", None)
             if cache is None:
                 continue

@@ -60,9 +60,9 @@ def collect_overheads(system: StorageTankSystem) -> Dict[str, float]:
     interface every authority and client agent exposes.
     """
     client_msgs = 0.0
-    for client in system.clients.values():
+    for client in system.pool.iter_active():
         client_msgs += client.overhead_snapshot().get("lease_msgs_sent", 0.0)
-    for agent in system.agents.values():
+    for agent in system.pool.iter_agents():
         client_msgs += agent.overhead_snapshot().get("lease_msgs_sent", 0.0)
     auth_over = system.server.authority.overhead_snapshot()
     out: Dict[str, float] = {
@@ -73,10 +73,10 @@ def collect_overheads(system: StorageTankSystem) -> Dict[str, float]:
         "server_transactions": float(system.server.transactions),
         "ctrl_messages": float(system.control_net.delivered_count),
     }
-    for name, client in system.clients.items():
+    for name, client in system.pool.live_items():
         over = client.overhead_snapshot()
         out[f"{name}_keepalives"] = float(over.get("keepalives_sent", 0.0))
-    for name, agent in system.agents.items():
+    for name, agent in system.pool.agent_items():
         over = agent.overhead_snapshot()
         if "heartbeats" in over:
             out[f"{name}_heartbeats"] = float(over["heartbeats"])

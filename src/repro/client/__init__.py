@@ -15,6 +15,7 @@ Local applications use the POSIX-flavoured generator API on
 
 from repro.client.cache import CacheStats, Page, PageCache
 from repro.client.openfile import FdTable, OpenFile
+from repro.client.pool import ClientPool, PooledCounters
 from repro.client.node import (
     ClientConfig,
     ClientDisconnectedError,
@@ -28,10 +29,12 @@ __all__ = [
     "ClientConfig",
     "ClientDisconnectedError",
     "ClientIOError",
+    "ClientPool",
     "ClientQuiescedError",
     "FdTable",
     "OpenFile",
     "Page",
     "PageCache",
+    "PooledCounters",
     "StorageTankClient",
 ]

@@ -199,8 +199,12 @@ class StorageTankClient:
         # e.g. Frangipani checks its heartbeat lease before every op).
         self.admission_check = None
 
-        self._writeback_proc = sim.process(self._writeback_daemon(),
-                                           name=f"{name}:writeback")
+        # A non-positive interval disables the standing write-back timer
+        # entirely (scale path: materialized facades flush explicitly, so
+        # a short-lived wake does not leave a daemon ticking behind it).
+        self._writeback_proc = (
+            sim.process(self._writeback_daemon(), name=f"{name}:writeback")
+            if self.config.writeback_interval > 0 else None)
 
     # ------------------------------------------------------------------
     # cluster attachment
@@ -563,6 +567,45 @@ class StorageTankClient:
         """Whether a valid primary lease is held (True without leases)."""
         lease = self.lease
         return lease.active if lease else True
+
+    # -- flyweight parking (scale path) ---------------------------------
+    def park_blockers(self) -> List[str]:
+        """Why this client cannot park right now (empty when clean).
+
+        Parking folds the client back into its flyweight record, so it
+        must hold nothing the protocol obliges it to resolve first: no
+        dirty pages (§3.2 flush duty), no held locks, no open files and
+        no in-flight operations.
+        """
+        blockers = []
+        if self._in_flight:
+            blockers.append(f"{self._in_flight} operations in flight")
+        if self.cache.dirty_pages(None):
+            blockers.append("dirty pages in cache")
+        if self.locks.all_held():
+            blockers.append("locks held")
+        if self.fds.all_open():
+            blockers.append("open files")
+        return blockers
+
+    def shutdown_for_park(self) -> None:
+        """Tear down every standing resource this facade owns.
+
+        Interrupts the write-back daemon and each lease daemon (their
+        pending timers become inert and drain as no-ops), detaches the
+        endpoint from the control network and the initiator from the
+        SAN.  After this the object is garbage; the pooled record and
+        the :class:`~repro.lease.pooled.PooledLeaseService` carry
+        everything that outlives it.
+        """
+        if self._writeback_proc is not None and self._writeback_proc.is_alive:
+            self._writeback_proc.interrupt()
+            self._writeback_proc = None
+        for mgr in self.leases.values():
+            if mgr._daemon.is_alive:
+                mgr._daemon.interrupt()
+        self.endpoint.net.detach(self.name)
+        self.san.detach_initiator(self.name)
 
     def overhead_snapshot(self) -> Dict[str, float]:
         """Client-side counters for E7/E9 (``ClientAgent`` conformance)."""

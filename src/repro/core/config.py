@@ -110,6 +110,26 @@ class ClusterConfig:
 
 
 @dataclass(frozen=True)
+class ScaleConfig:
+    """Mass-instantiation knobs (the E-scale path).
+
+    Disabled by default: ``lazy_clients=False`` keeps the historical
+    eager build, whose event sequence and RNG draw order are pinned by
+    golden trace hashes.  With ``lazy_clients=True`` the builder
+    registers the client population as flyweight records in a
+    :class:`~repro.client.pool.ClientPool` — no client objects, no
+    endpoints, no kernel timers — and materializes full facades on
+    first touch (API access or inbound datagram).
+    """
+
+    #: Register clients as flyweights; materialize on first touch.
+    lazy_clients: bool = False
+    #: Write-back interval for materialized facades (<= 0 disables the
+    #: per-client daemon; scale workloads flush explicitly on park).
+    facade_writeback_interval: float = 0.0
+
+
+@dataclass(frozen=True)
 class WorkloadConfig:
     """Synthetic workload shape (consumed by :mod:`repro.workloads`)."""
 
@@ -147,6 +167,7 @@ class SystemConfig:
     observability: ObservabilityConfig = field(
         default_factory=ObservabilityConfig)
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
+    scale: ScaleConfig = field(default_factory=ScaleConfig)
     # Baseline knobs
     frangipani_heartbeat: float = 10.0
     vlease_object_duration: float = 10.0
@@ -170,6 +191,52 @@ class SystemConfig:
                                  "the storage_tank protocol only")
             if self.n_servers < 2:
                 raise ValueError("cluster membership needs n_servers >= 2")
+            # Shard-map consistency, checked here instead of surfacing as
+            # a KeyError deep inside ShardMap.initial/owner_of_slot: the
+            # ring must have a slot for every server and divide evenly,
+            # or slot routing would skew (and historically crashed late).
+            if self.cluster.n_slots < self.n_servers:
+                raise ValueError(
+                    f"cluster.n_slots={self.cluster.n_slots} is smaller "
+                    f"than n_servers={self.n_servers}; every server needs "
+                    f"at least one shard slot")
+            if self.cluster.n_slots % self.n_servers != 0:
+                raise ValueError(
+                    f"cluster.n_slots={self.cluster.n_slots} is not "
+                    f"divisible by n_servers={self.n_servers}; the initial "
+                    f"map would shard unevenly and no longer reproduce "
+                    f"static hash routing")
+        if self.scale.lazy_clients:
+            if self.protocol != "storage_tank":
+                raise ValueError("lazy (flyweight) clients are implemented "
+                                 "for the storage_tank protocol only")
+            if self.cluster.enabled:
+                raise ValueError("lazy clients and cluster membership "
+                                 "cannot be combined (the coordinator "
+                                 "needs the full client list up front)")
+        # A slow client that does not exist is a silently-ignored typo:
+        # the §6 experiment would then measure nothing.  Validate names
+        # by shape and range instead of materializing client_names()
+        # (which would allocate n_clients strings on every construction).
+        for name in self.slow_clients:
+            bad = not (name.startswith("c") and name[1:].isdigit())
+            if not bad:
+                idx = int(name[1:])
+                bad = not 1 <= idx <= self.n_clients
+            if bad:
+                raise ValueError(
+                    f"slow_clients entry {name!r} does not name a client "
+                    f"of this installation (valid: c1..c{self.n_clients})")
+
+    @classmethod
+    def default(cls) -> "SystemConfig":
+        """The explicit default installation.
+
+        ``build_system(None)`` used to *silently* fall back to an
+        implicit default; it now routes through this named constructor
+        so the fallback is a greppable, documented decision.
+        """
+        return cls()
 
     def client_names(self) -> Tuple[str, ...]:
         """The generated client node names."""

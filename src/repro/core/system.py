@@ -15,7 +15,9 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 from repro.client.node import ClientConfig, StorageTankClient
+from repro.client.pool import ClientPool
 from repro.core.config import SystemConfig
+from repro.lease.pooled import PooledLeaseService
 from repro.lease.server_lease import ServerLeaseAuthority
 from repro.net.control import ControlNetwork
 from repro.net.partition import PartitionController, combined_views, is_symmetric
@@ -29,26 +31,34 @@ from repro.protocols.registry import get as get_protocol
 from repro.server.node import ServerConfig, StorageTankServer
 from repro.sim.clock import ClockEnsemble
 from repro.sim.kernel import Simulator
+from repro.sim.timer_pool import TimerPool
 from repro.sim.rng import RandomStreams
 from repro.sim.trace import TraceRecorder
 from repro.storage.disk import VirtualDisk
 
 
 def __getattr__(name):
-    """Serve the deprecated ``AnyClient`` union alias lazily."""
+    """The ``AnyClient`` union alias (deprecated for one release) is
+    gone: annotate with :class:`repro.protocols.base.ClientAgent`."""
     if name == "AnyClient":
-        warnings.warn(
-            "core.system.AnyClient is deprecated; annotate with the "
-            "repro.protocols.base.ClientAgent protocol instead",
-            DeprecationWarning, stacklevel=2)
-        from typing import Union
-        return Union[StorageTankClient, NfsPollingClient]
+        raise AttributeError(
+            "core.system.AnyClient was removed after its deprecation "
+            "cycle; annotate with the repro.protocols.base.ClientAgent "
+            "protocol instead")
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass
 class StorageTankSystem:
-    """A built installation, ready to run."""
+    """A built installation, ready to run.
+
+    Client access goes through :attr:`pool` — the typed
+    :class:`~repro.client.pool.ClientPool` accessor
+    (``system.pool.get(name)``, ``system.pool.iter_active()``,
+    ``len(system.pool)``), which is also the flyweight store on the
+    scale path.  The historical ``clients``/``agents`` dict attributes
+    remain readable for one release behind a ``DeprecationWarning``.
+    """
 
     config: SystemConfig
     sim: Simulator
@@ -59,11 +69,34 @@ class StorageTankSystem:
     san: SanFabric
     disks: Dict[str, VirtualDisk]
     server: StorageTankServer
-    clients: Dict[str, ClientAgent]
-    agents: Dict[str, ClientAgent] = field(default_factory=dict)
+    pool: ClientPool
     servers: Dict[str, StorageTankServer] = field(default_factory=dict)
     obs: Observability = field(default_factory=Observability)
     coordinator: Optional[Any] = None  # ClusterCoordinator when enabled
+    #: Pooled timer substrate (scale path only; None on the eager path).
+    timers: Optional[TimerPool] = None
+    #: Coalesced lease-lapse tracking for parked flyweight clients.
+    pooled_leases: Optional[PooledLeaseService] = None
+
+    # -- deprecated dict attributes (one release behind the pool) ---------
+    @property
+    def clients(self) -> Dict[str, ClientAgent]:
+        """Deprecated: live clients as a dict — use :attr:`pool`."""
+        warnings.warn(
+            "StorageTankSystem.clients is deprecated; use system.pool "
+            "(pool.get(name), pool.iter_active(), len(pool))",
+            DeprecationWarning, stacklevel=2)
+        return dict(self.pool.clients_view())
+
+    @property
+    def agents(self) -> Dict[str, ClientAgent]:
+        """Deprecated: protocol agents as a dict — use :attr:`pool`
+        (``pool.agent_for(name)`` / ``pool.iter_agents()``)."""
+        warnings.warn(
+            "StorageTankSystem.agents is deprecated; use system.pool "
+            "(pool.agent_for(name), pool.iter_agents())",
+            DeprecationWarning, stacklevel=2)
+        return dict(self.pool.agents_view())
 
     # -- convenience ------------------------------------------------------
     @property
@@ -77,8 +110,8 @@ class StorageTankSystem:
         return PartitionController(self.san)
 
     def client(self, name: str) -> ClientAgent:
-        """Look up a client node."""
-        return self.clients[name]
+        """Look up a client node (materializes a parked flyweight)."""
+        return self.pool.get(name)
 
     def server_node(self, name: str) -> StorageTankServer:
         """Look up a server node by name."""
@@ -99,8 +132,9 @@ class StorageTankSystem:
         clients never talk over the SAN, which is exactly what makes a
         symmetric control-network cut asymmetric overall (Fig. 2).
         """
-        entities = ([self.server.name] + list(self.clients) + list(self.disks))
-        ctrl_members = {self.server.name, *self.clients}
+        client_names = self.pool.live_names()
+        entities = ([self.server.name] + client_names + list(self.disks))
+        ctrl_members = {self.server.name, *client_names}
         devices = set(self.disks)
 
         class _SanView:
@@ -114,7 +148,7 @@ class StorageTankSystem:
                     return False  # device↔device and computer↔computer: no path
                 return self._fabric.reachable(a, b)
 
-        san_members = {*self.clients, *self.disks, self.server.name}
+        san_members = {*client_names, *self.disks, self.server.name}
         views = combined_views(entities,
                                [(self.control_net, ctrl_members),
                                 (_SanView(self.san), san_members)])
@@ -156,11 +190,11 @@ class StorageTankSystem:
                 if srv.cluster is not None:
                     snap[f"{sname}.wrong_owner_nacks"] = \
                         srv.cluster.wrong_owner_nacks
-            for name, cl in self.clients.items():
+            for name, cl in self.pool.live_items():
                 if hasattr(cl, "rerouted_ops"):
                     snap[f"{name}.rerouted_ops"] = cl.rerouted_ops
                     snap[f"{name}.shard_migrations"] = cl.shard_migrations
-        for name, cl in self.clients.items():
+        for name, cl in self.pool.live_items():
             over = cl.overhead_snapshot()
             snap[f"{name}.ops_completed"] = int(over["ops_completed"])
             snap[f"{name}.app_errors"] = int(over["app_errors"])
@@ -170,7 +204,7 @@ class StorageTankSystem:
                 snap[f"{name}.ops_rejected"] = int(over["ops_rejected"])
                 snap[f"{name}.keepalives"] = int(over["keepalives_sent"])
                 snap[f"{name}.cache_hit_rate"] = over["cache_hit_rate"]
-        for name, agent in self.agents.items():
+        for name, agent in self.pool.agent_items():
             over = agent.overhead_snapshot()
             if "heartbeats" in over:
                 snap[f"{name}.heartbeats"] = int(over["heartbeats"])
@@ -202,8 +236,16 @@ class StorageTankSystem:
 
 
 def build_system(config: Optional[SystemConfig] = None) -> StorageTankSystem:
-    """Assemble a full installation for the configured protocol."""
-    cfg = config or SystemConfig()
+    """Assemble a full installation for the configured protocol.
+
+    ``config=None`` builds :meth:`SystemConfig.default` — an explicit,
+    named fallback rather than a silent one.  With
+    ``config.scale.lazy_clients`` the client population is registered as
+    flyweight records (see :mod:`repro.client.pool`) instead of being
+    built eagerly; every other configuration keeps the exact historical
+    construction order, which pinned golden trace hashes depend on.
+    """
+    cfg = config if config is not None else SystemConfig.default()
     spec = get_protocol(cfg.protocol)
     collector = _runlog.active()
     sim = Simulator()
@@ -255,28 +297,40 @@ def build_system(config: Optional[SystemConfig] = None) -> StorageTankSystem:
             obs=obs)
     server = servers[server_names[0]]
 
-    clients: Dict[str, ClientAgent] = {}
-    agents: Dict[str, ClientAgent] = {}
     client_cfg_base = dict(writeback_interval=cfg.writeback_interval,
                            rpc_timeout=cfg.rpc_timeout,
                            rpc_retries=cfg.rpc_retries,
                            quiesce_behavior=cfg.quiesce_behavior,
                            data_path=cfg.data_path,
                            attr_cache_ttl=cfg.attr_cache_ttl)
-    for cname in cfg.client_names():
-        clock = clocks.create(cname, violates_bound=cname in cfg.slow_clients)
-        if spec.client_kind == "nfs":
-            clients[cname] = NfsPollingClient(sim, net, san, cname,
-                                              server_names[0], clock,
-                                              attr_ttl=cfg.nfs_attr_ttl,
-                                              trace=trace, obs=obs)
-            continue
-        ccfg = ClientConfig(use_leases=spec.uses_leases, **client_cfg_base)
-        client = StorageTankClient(sim, net, san, cname, server_names, clock,
-                                   contract, config=ccfg, trace=trace, obs=obs)
-        clients[cname] = client
-        if spec.agent is not None:
-            agents[cname] = spec.agent(cfg, client)
+    timers: Optional[TimerPool] = None
+    pooled: Optional[PooledLeaseService] = None
+    if cfg.scale.lazy_clients:
+        pool = _build_lazy_clients(cfg, spec, sim, net, san, clocks, contract,
+                                   trace, obs, server_names, client_cfg_base)
+        timers = pool_timers = TimerPool(sim)
+        pooled = PooledLeaseService(pool_timers)
+        _wire_scale_hooks(pool, pooled, net)
+    else:
+        clients: Dict[str, ClientAgent] = {}
+        agents: Dict[str, ClientAgent] = {}
+        for cname in cfg.client_names():
+            clock = clocks.create(cname,
+                                  violates_bound=cname in cfg.slow_clients)
+            if spec.client_kind == "nfs":
+                clients[cname] = NfsPollingClient(sim, net, san, cname,
+                                                  server_names[0], clock,
+                                                  attr_ttl=cfg.nfs_attr_ttl,
+                                                  trace=trace, obs=obs)
+                continue
+            ccfg = ClientConfig(use_leases=spec.uses_leases, **client_cfg_base)
+            client = StorageTankClient(sim, net, san, cname, server_names,
+                                       clock, contract, config=ccfg,
+                                       trace=trace, obs=obs)
+            clients[cname] = client
+            if spec.agent is not None:
+                agents[cname] = spec.agent(cfg, client)
+        pool = ClientPool.eager(clients, agents)
 
     coordinator = None
     if cfg.cluster.enabled:
@@ -299,9 +353,9 @@ def build_system(config: Optional[SystemConfig] = None) -> StorageTankSystem:
             sim, net, cfg.cluster.coordinator_name, server_names,
             clocks.create(cfg.cluster.coordinator_name), cfg.cluster,
             trace=trace, obs=obs,
-            client_names=tuple(n for n, c in clients.items()
+            client_names=tuple(n for n, c in pool.live_items()
                                if isinstance(c, StorageTankClient)))
-        for cl in clients.values():
+        for cl in pool.iter_active():
             if isinstance(cl, StorageTankClient):
                 cl.attach_cluster(cfg.cluster.coordinator_name, initial)
         coordinator.start()
@@ -309,9 +363,88 @@ def build_system(config: Optional[SystemConfig] = None) -> StorageTankSystem:
     system = StorageTankSystem(config=cfg, sim=sim, streams=streams,
                                trace=trace, clocks=clocks, control_net=net,
                                san=san, disks=disks, server=server,
-                               clients=clients, agents=agents,
-                               servers=servers, obs=obs,
-                               coordinator=coordinator)
+                               pool=pool, servers=servers, obs=obs,
+                               coordinator=coordinator, timers=timers,
+                               pooled_leases=pooled)
     if collector is not None:
         collector.on_system_built(system)
     return system
+
+
+def _build_lazy_clients(cfg: SystemConfig, spec: Any, sim: Simulator,
+                        net: ControlNetwork, san: SanFabric,
+                        clocks: ClockEnsemble, contract: Any,
+                        trace: TraceRecorder, obs: Observability,
+                        server_names: Any,
+                        client_cfg_base: Dict[str, Any]) -> ClientPool:
+    """Register the client population as flyweights behind one factory.
+
+    Registration allocates struct-of-arrays columns only — no client
+    objects, no endpoints, no closures per client, no kernel events.
+    The single shared factory materializes a full facade on first touch
+    and reuses the node's original clock on re-materialization.
+    """
+    facade_cfg = dict(client_cfg_base)
+    facade_cfg["writeback_interval"] = cfg.scale.facade_writeback_interval
+    slow = frozenset(cfg.slow_clients)
+
+    def make_client(name: str, idx: int) -> StorageTankClient:
+        clock = clocks.get_or_create(name, violates_bound=name in slow)
+        ccfg = ClientConfig(use_leases=spec.uses_leases, **facade_cfg)
+        client = StorageTankClient(sim, net, san, name, server_names, clock,
+                                   contract, config=ccfg, trace=trace,
+                                   obs=obs)
+        if spec.agent is not None:
+            pool.set_agent(name, spec.agent(cfg, client))
+        return client
+
+    pool = ClientPool.lazy(cfg.n_clients, make_client)
+    return pool
+
+
+def _wire_scale_hooks(pool: ClientPool, pooled: PooledLeaseService,
+                      net: ControlNetwork) -> None:
+    """Connect the flyweight store to the network and lease plumbing.
+
+    - inbound datagrams to a parked name materialize the client through
+      the network's lazy resolver (the NACK / server-demand wake path);
+    - parking a clean client hands its live lease(s) to the pooled
+      expiry service and tears down its endpoint and daemons;
+    - materializing drops the pooled record — the facade re-obtains a
+      lease opportunistically with its first acknowledged request.
+    """
+
+    def resolve(name: str) -> Optional[Any]:
+        idx = pool.index_of(name)
+        if idx is None:
+            return None
+        client = pool.get(name, reason="datagram")
+        return getattr(client, "endpoint", None)
+
+    net.set_lazy_resolver(resolve)
+
+    def park_client(client: Any, idx: int) -> None:
+        blockers = client.park_blockers()
+        if blockers:
+            raise ValueError(
+                f"cannot park {client.name!r}: {'; '.join(blockers)}")
+        lapse_at = None
+        for mgr in client.leases.values():
+            if not mgr.active:
+                continue
+            expiry_local = mgr.expiry_local()
+            if expiry_local is not None:
+                t = client.endpoint.clock.global_time(expiry_local)
+                lapse_at = t if lapse_at is None else max(lapse_at, t)
+        if lapse_at is not None:
+            pooled.renew(idx, lapse_at)
+        client.shutdown_for_park()
+
+    pool.set_parker(park_client)
+
+    def drop_record(_name: str, idx: int) -> None:
+        # The facade starts lease-less and renews with its first ACK;
+        # the stale pooled record would otherwise double-count a lapse.
+        pooled.lapse(idx)
+
+    pool.on_materialize = drop_record

@@ -7,6 +7,8 @@ Usage::
     python -m repro.harness all          # everything (minutes)
     python -m repro.harness all --seed 7
     python -m repro.harness e7 --metrics-out bench.json
+    python -m repro.harness --list    # enumerate the registry
+    python -m repro.harness e-scale --clients 1000000
 """
 
 from __future__ import annotations
@@ -18,26 +20,35 @@ import sys
 from typing import Any
 
 from repro.analysis.report import Table
-from repro.harness.ablations import ABLATIONS
+from repro.harness import registry
+# Importing these modules populates the registry via @experiment.
+from repro.harness import ablations as _ablations  # noqa: F401
+from repro.harness import experiments as _experiments  # noqa: F401
+from repro.harness import scale as _scale  # noqa: F401
 from repro.harness.common import wall_timer
-from repro.harness.experiments import EXPERIMENTS as _EXPERIMENTS
 from repro.harness.parallel import run_experiments_parallel
 from repro.obs import runlog
 
-EXPERIMENTS = dict(_EXPERIMENTS)
-EXPERIMENTS.update(ABLATIONS)
+#: name -> callable over every registered experiment (used by parallel
+#: workers to resolve ids in the child process).
+EXPERIMENTS = registry.view()
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Regenerate the paper's figures/claims (E1-E10).")
-    parser.add_argument("experiments", nargs="+",
+    parser.add_argument("experiments", nargs="*",
                         help=f"experiment ids ({', '.join(EXPERIMENTS)}) or 'all'")
+    parser.add_argument("--list", action="store_true",
+                        help="enumerate the experiment registry and exit")
     parser.add_argument("--seed", type=int, default=0,
                         help="root random seed (default 0)")
     parser.add_argument("--markdown", metavar="FILE", default=None,
                         help="also write the tables to FILE as markdown")
+    parser.add_argument("--clients", type=int, default=None,
+                        help="client-population cap, forwarded to the "
+                             "experiments that take one (e.g. e-scale)")
     parser.add_argument("--n-servers", type=int, default=None,
                         help="metadata-cluster size, forwarded to the "
                              "experiments that take one (e.g. e11)")
@@ -51,7 +62,16 @@ def main(argv=None) -> int:
                              "order matches the requested order")
     args = parser.parse_args(argv)
 
-    names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    if args.list:
+        for spec in registry.iter_specs():
+            tag = "  [heavy: excluded from 'all']" if spec.heavy else ""
+            print(f"{spec.name:10s} {spec.summary}{tag}")
+        return 0
+    if not args.experiments:
+        parser.error("no experiments requested (try --list)")
+
+    names = (list(registry.runnable_by_default())
+             if "all" in args.experiments else args.experiments)
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
         parser.error(f"unknown experiments: {unknown}")
@@ -76,9 +96,11 @@ def main(argv=None) -> int:
             elapsed = wall_timer()
             fn = EXPERIMENTS[name]
             kwargs = {"seed": args.seed}
-            if (args.n_servers is not None
-                    and "n_servers" in inspect.signature(fn).parameters):
+            params = inspect.signature(fn).parameters
+            if args.n_servers is not None and "n_servers" in params:
                 kwargs["n_servers"] = args.n_servers
+            if args.clients is not None and "clients" in params:
+                kwargs["clients"] = args.clients
             result = fn(**kwargs)
             tables = result if isinstance(result, list) else [result]
             for t in tables:
@@ -103,6 +125,8 @@ def _run_parallel(names, args) -> int:
     kwargs = {"seed": args.seed}
     if args.n_servers is not None:
         kwargs["n_servers"] = args.n_servers
+    if args.clients is not None:
+        kwargs["clients"] = args.clients
     tasks = [(name, kwargs) for name in names]
     outcomes = run_experiments_parallel(tasks, args.jobs)
     md_chunks = []

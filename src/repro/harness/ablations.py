@@ -7,7 +7,7 @@ costs — the engineering questions a Storage Tank implementor would ask.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from repro.analysis.consistency import ConsistencyAuditor
 from repro.analysis.availability import unavailability_after
@@ -20,6 +20,7 @@ from repro.core.config import (
 )
 from repro.core.system import build_system
 from repro.harness.common import ScenarioLog, contender_takes_over, holder_with_dirty_data
+from repro.harness.registry import experiment, view as _registry_view
 from repro.storage.blockmap import BLOCK_SIZE
 
 
@@ -27,6 +28,7 @@ from repro.storage.blockmap import BLOCK_SIZE
 # A1 — the τ/ε trade: recovery latency vs idle keep-alive traffic
 # ---------------------------------------------------------------------------
 
+@experiment("a1")
 def ablation_a1_tau_sweep(seed: int = 0,
                           taus: Tuple[float, ...] = (5.0, 15.0, 30.0, 60.0),
                           epsilons: Tuple[float, ...] = (0.0, 0.05, 0.2),
@@ -78,6 +80,7 @@ def ablation_a1_tau_sweep(seed: int = 0,
 # A2 — phase boundaries: how late can the flush start?
 # ---------------------------------------------------------------------------
 
+@experiment("a2")
 def ablation_a2_phase_boundaries(seed: int = 0,
                                  flush_fracs: Tuple[float, ...] = (0.6, 0.75, 0.9, 0.98),
                                  dirty_blocks: int = 400,
@@ -128,6 +131,7 @@ def ablation_a2_phase_boundaries(seed: int = 0,
 # A3 — failure-detection policy: retries vs recovery latency
 # ---------------------------------------------------------------------------
 
+@experiment("a3")
 def ablation_a3_detection(seed: int = 0,
                           policies: Tuple[Tuple[float, int], ...] = (
                               (0.5, 1), (1.0, 3), (2.0, 5)),
@@ -169,6 +173,7 @@ def ablation_a3_detection(seed: int = 0,
 # A4 — removing the no-ACK-while-expiring rule (§3.1) breaks safety
 # ---------------------------------------------------------------------------
 
+@experiment("a4")
 def ablation_a4_ack_while_expiring(seed: int = 0) -> Table:
     """§3.1: "we require the server not to ACK messages if it has
     already started a counter to expire client locks."  Disable the rule
@@ -236,6 +241,7 @@ def ablation_a4_ack_while_expiring(seed: int = 0) -> Table:
 #      is the direct-access model's throughput ceiling (§1.1)
 # ---------------------------------------------------------------------------
 
+@experiment("a5")
 def ablation_a5_scalability(seed: int = 0, duration: float = 30.0,
                             client_counts: Tuple[int, ...] = (1, 2, 4, 8),
                             ) -> Table:
@@ -268,7 +274,7 @@ def ablation_a5_scalability(seed: int = 0, duration: float = 30.0,
                                         8 * BLOCK_SIZE)
                 yield from client.flush(fd)  # synchronous: hits the disk
                 offset += 8 * BLOCK_SIZE
-        procs = [system.spawn(stream(c)) for c in system.clients]
+        procs = [system.spawn(stream(c)) for c in system.pool.live_names()]
         for proc in procs:
             system.sim.run_until_event(proc, hard_limit=duration * 30 + 600)
         san_mb = (system.san.bytes_read + system.san.bytes_written) / 1e6
@@ -287,6 +293,7 @@ def ablation_a5_scalability(seed: int = 0, duration: float = 30.0,
 #      transaction load (Fig. 1's server cluster)
 # ---------------------------------------------------------------------------
 
+@experiment("a6")
 def ablation_a6_server_cluster(seed: int = 0, duration: float = 30.0,
                                server_counts: Tuple[int, ...] = (1, 2, 4),
                                ) -> Table:
@@ -321,6 +328,7 @@ def ablation_a6_server_cluster(seed: int = 0, duration: float = 30.0,
 #      reassertion-based design
 # ---------------------------------------------------------------------------
 
+@experiment("a7")
 def ablation_a7_server_recovery(seed: int = 0,
                                 outages: Tuple[float, ...] = (1.0, 5.0, 15.0),
                                 ) -> Table:
@@ -350,11 +358,11 @@ def ablation_a7_server_recovery(seed: int = 0,
         ops_ok = sum(st.ops_succeeded for st in stats.values())
         refused = sum(st.ops_rejected + st.ops_failed for st in stats.values())
         reasserts = sum(getattr(c, "reasserts_sent", 0)
-                        for c in system.clients.values())
+                        for c in system.pool.iter_active())
         # Every lock a client believes it holds must exist server-side.
         preserved = all(
             system.server.locks.mode_of(name, obj) == mode
-            for name, c in system.clients.items()
+            for name, c in system.pool.live_items()
             for obj, mode in c.locks.all_held())
         report = ConsistencyAuditor(system).audit()
         table.add_row(outage, ops_ok, refused, reasserts,
@@ -368,12 +376,7 @@ def ablation_a7_server_recovery(seed: int = 0,
     return table
 
 
-ABLATIONS = {
-    "a1": ablation_a1_tau_sweep,
-    "a2": ablation_a2_phase_boundaries,
-    "a3": ablation_a3_detection,
-    "a4": ablation_a4_ack_while_expiring,
-    "a5": ablation_a5_scalability,
-    "a6": ablation_a6_server_cluster,
-    "a7": ablation_a7_server_recovery,
-}
+#: Legacy dispatch dict — a view over :mod:`repro.harness.registry`;
+#: prefer the registry directly.  Kept one release for compatibility.
+ABLATIONS: Dict[str, Callable[..., Any]] = _registry_view(
+    "a1", "a2", "a3", "a4", "a5", "a6", "a7")

@@ -19,6 +19,7 @@ from repro.analysis.metrics import collect_overheads
 from repro.analysis.report import Table
 from repro.core.config import LeaseConfig, SystemConfig, WorkloadConfig
 from repro.core.system import StorageTankSystem, build_system
+from repro.harness.registry import experiment, view as _registry_view
 from repro.harness.common import (
     APP_ERRORS,
     ScenarioLog,
@@ -44,6 +45,7 @@ from repro.workloads.generator import run_workload
 # E1 — Fig. 1 / §1.1: direct SAN data access vs. a server-marshalled FS
 # ---------------------------------------------------------------------------
 
+@experiment("e1")
 def experiment_e1_direct_access(seed: int = 0, duration: float = 30.0,
                                 n_clients: int = 4) -> Table:
     """The server in the direct-access model moves zero file-data bytes;
@@ -76,6 +78,7 @@ def experiment_e1_direct_access(seed: int = 0, duration: float = 30.0,
 # E2 — Fig. 2 / §2: the two-network problem
 # ---------------------------------------------------------------------------
 
+@experiment("e2")
 def experiment_e2_two_network(seed: int = 0, horizon: float = 150.0) -> Table:
     """A control-network partition leaves the disk in everyone's view yet
     makes views asymmetric; without a safety protocol the locked file is
@@ -126,6 +129,7 @@ def experiment_e2_two_network(seed: int = 0, horizon: float = 150.0) -> Table:
 # E3 — §2.1: fencing alone is inadequate
 # ---------------------------------------------------------------------------
 
+@experiment("e3")
 def experiment_e3_fencing_inadequacy(seed: int = 0, horizon: float = 130.0,
                                      ) -> Table:
     """Fence-then-steal strands dirty data and serves stale cache; naive
@@ -179,6 +183,7 @@ def experiment_e3_fencing_inadequacy(seed: int = 0, horizon: float = 130.0,
 # E4 — Fig. 3 / Theorem 3.1: renewal-ordering safety
 # ---------------------------------------------------------------------------
 
+@experiment("e4")
 def experiment_e4_theorem31(seed: int = 0, trials: int = 2000) -> Table:
     """Monte-Carlo over clock rates/offsets and message timings: the
     paper's renew-at-initiation rule never lets a steal precede client
@@ -224,6 +229,7 @@ def experiment_e4_theorem31(seed: int = 0, trials: int = 2000) -> Table:
 # E5 — Fig. 4 / §3.2: the four phases of the lease period
 # ---------------------------------------------------------------------------
 
+@experiment("e5")
 def experiment_e5_lease_phases(seed: int = 0) -> Table:
     """Active clients live in phase 1; idle clients keep their cache with
     cheap keep-alives; partitioned clients walk phases 2→3→4, drain
@@ -293,6 +299,7 @@ def experiment_e5_lease_phases(seed: int = 0) -> Table:
 # E6 — Fig. 5 / §3.3: NACKs for inconsistent clients
 # ---------------------------------------------------------------------------
 
+@experiment("e6")
 def experiment_e6_nack(seed: int = 0) -> Table:
     """After a transient partition, a NACK tells the client immediately
     that its cache is invalid; silently ignoring it burns messages until
@@ -356,6 +363,7 @@ def experiment_e6_nack(seed: int = 0) -> Table:
 # E7 — §3/§3.1/§7: zero overhead during normal operation
 # ---------------------------------------------------------------------------
 
+@experiment("e7")
 def experiment_e7_overhead(seed: int = 0, duration: float = 120.0) -> Table:
     """The headline claim: with no failures, Storage Tank leasing costs
     zero messages, zero server memory, zero server computation — compared
@@ -376,7 +384,7 @@ def experiment_e7_overhead(seed: int = 0, duration: float = 120.0) -> Table:
                 log = ScenarioLog()
                 system.spawn(holder_with_dirty_data(system, "c1", "/f", log))
                 system.run(until=duration)
-                ops = sum(c.ops_completed for c in system.clients.values())
+                ops = sum(c.ops_completed for c in system.pool.iter_active())
             else:
                 stats = run_workload(system, duration)
                 ops = sum(s.ops_succeeded for s in stats.values())
@@ -405,6 +413,7 @@ def experiment_e7_overhead(seed: int = 0, duration: float = 120.0) -> Table:
 # E8 — §4: per-object V leases vs one lease per client
 # ---------------------------------------------------------------------------
 
+@experiment("e8")
 def experiment_e8_vlease_scaling(seed: int = 0, duration: float = 60.0,
                                  object_counts: Tuple[int, ...] = (1, 5, 20, 100),
                                  ) -> Table:
@@ -458,6 +467,7 @@ def _lease_msg_count(system: StorageTankSystem) -> int:
 # E9 — §5: protocol comparison across client counts
 # ---------------------------------------------------------------------------
 
+@experiment("e9")
 def experiment_e9_protocol_comparison(seed: int = 0, duration: float = 60.0,
                                       client_counts: Tuple[int, ...] = (2, 4, 8),
                                       ) -> List[Table]:
@@ -538,6 +548,7 @@ def _e9b_availability_scoreboard(seed: int = 0, horizon: float = 130.0) -> Table
 # E10 — §6: slow computers, fencing backstop, and GFS dlocks
 # ---------------------------------------------------------------------------
 
+@experiment("e10")
 def experiment_e10_slow_client(seed: int = 0, horizon: float = 170.0) -> List[Table]:
     """A client whose clock violates the rate bound flushes *after* its
     locks were stolen.  The fence constructed at steal time blocks the
@@ -636,6 +647,7 @@ def _e10_dlock_comparison(seed: int = 0) -> Table:
 # E11 — repro.cluster: availability under metadata-server failure
 # ---------------------------------------------------------------------------
 
+@experiment("e11")
 def experiment_e11_cluster_takeover(seed: int = 0, horizon: float = 140.0,
                                     n_servers: int = 3) -> Table:
     """Kill one server of a metadata cluster and watch its shard move.
@@ -793,16 +805,7 @@ def experiment_e11_cluster_takeover(seed: int = 0, horizon: float = 140.0,
 # registry
 # ---------------------------------------------------------------------------
 
-EXPERIMENTS: Dict[str, Callable[..., Any]] = {
-    "e1": experiment_e1_direct_access,
-    "e2": experiment_e2_two_network,
-    "e3": experiment_e3_fencing_inadequacy,
-    "e4": experiment_e4_theorem31,
-    "e5": experiment_e5_lease_phases,
-    "e6": experiment_e6_nack,
-    "e7": experiment_e7_overhead,
-    "e8": experiment_e8_vlease_scaling,
-    "e9": experiment_e9_protocol_comparison,
-    "e10": experiment_e10_slow_client,
-    "e11": experiment_e11_cluster_takeover,
-}
+#: Legacy dispatch dict — a view over :mod:`repro.harness.registry`;
+#: prefer the registry directly.  Kept one release for compatibility.
+EXPERIMENTS: Dict[str, Callable[..., Any]] = _registry_view(
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11")

@@ -15,6 +15,7 @@ client's locks may be safely stolen (Theorem 3.1).
 from repro.lease.contract import LeaseContract, PhaseBoundaries, verify_theorem_3_1
 from repro.lease.phases import LeasePhase
 from repro.lease.client_lease import ClientLeaseManager, LeaseCallbacks
+from repro.lease.pooled import PooledLeaseService
 from repro.lease.server_lease import ServerLeaseAuthority, SuspectEntry
 
 __all__ = [
@@ -23,6 +24,7 @@ __all__ = [
     "LeaseContract",
     "LeasePhase",
     "PhaseBoundaries",
+    "PooledLeaseService",
     "ServerLeaseAuthority",
     "SuspectEntry",
     "verify_theorem_3_1",

@@ -1,0 +1,144 @@
+"""Coalesced lease bookkeeping for flyweight (parked) clients.
+
+A parked client — registered in the :class:`repro.client.pool.ClientPool`
+but not currently materialized as a :class:`~repro.client.node.StorageTankClient`
+— may still hold a lease from its last active period.  The full client
+tracks that lease with a standing daemon process and per-phase timers;
+a million parked clients cannot afford a million of those.
+
+:class:`PooledLeaseService` keeps the *only* lease fact a parked client
+needs — "when does my lease certainly lapse" — in flat arrays indexed by
+client slot, plus a lazy-deletion heap, and arms exactly **one**
+:class:`~repro.sim.timer_pool.TimerPool` entry for the earliest pending
+expiry.  When it fires, every due expiry is processed in one sweep and
+the per-index callback runs (the pool uses it to invalidate the parked
+client's cached-lease record and count the lapse).
+
+Safety framing (paper §3.2): a client may only park once it is *clean*
+— no dirty data, no held locks, no in-flight operations — so letting the
+lease lapse in absentia requires no flush, no quiesce and no
+materialization; the expiry sweep is pure bookkeeping.  This mirrors the
+paper's scaling claim: the server is passive and the *client* side of an
+idle lease costs O(1) amortized, so system cost tracks transactions,
+not population.
+
+Times here are **global** sim seconds: the parked record stores a
+conservative (latest-possible) lapse instant computed when the client
+parked, so the sweep never needs the client's local clock — which may
+not even exist yet for a never-materialized client.
+"""
+
+from __future__ import annotations
+
+from array import array
+from heapq import heappop, heappush
+from typing import Callable, List, Optional, Tuple
+
+from repro.sim.timer_pool import TimerPool
+
+__all__ = ["PooledLeaseService"]
+
+_INF = float("inf")
+
+
+class PooledLeaseService:
+    """Bulk lease-lapse tracking for flyweight client slots.
+
+    ``ensure_capacity(n)`` sizes the arrays; ``renew(idx, expires_at)``
+    records that slot ``idx`` holds a lease until global time
+    ``expires_at``; ``lapse(idx)`` drops it immediately (NACK / park of
+    an already-expired client).  ``on_expire(idx)`` fires once per held
+    lease when its deadline passes, from a single pooled timer.
+    """
+
+    def __init__(self, timers: TimerPool,
+                 on_expire: Optional[Callable[[int], None]] = None) -> None:
+        self.timers = timers
+        self.on_expire = on_expire
+        #: conservative global lapse instant per slot (+inf = no lease)
+        self._expiry = array("d")
+        #: 1 while the slot holds an unexpired lease record
+        self._held = array("b")
+        self._heap: List[Tuple[float, int]] = []
+        self._timer_token: Optional[int] = None
+        #: earliest deadline the pooled timer entry is registered for
+        self._armed_for = _INF
+        self.expired = 0
+        self.renewals = 0
+
+    # -- capacity ---------------------------------------------------------
+    def ensure_capacity(self, n: int) -> None:
+        """Grow the per-slot arrays to hold at least ``n`` slots."""
+        grow = n - len(self._expiry)
+        if grow > 0:
+            self._expiry.extend([_INF] * grow)
+            self._held.extend([0] * grow)
+
+    def __len__(self) -> int:
+        """Number of slots currently holding a lease record."""
+        return sum(self._held)
+
+    def holds_lease(self, idx: int) -> bool:
+        """True while slot ``idx`` has an unexpired lease record."""
+        return idx < len(self._held) and bool(self._held[idx])
+
+    def expiry_of(self, idx: int) -> float:
+        """Global lapse instant recorded for slot ``idx`` (+inf if none)."""
+        return self._expiry[idx] if idx < len(self._expiry) else _INF
+
+    # -- record keeping ---------------------------------------------------
+    def renew(self, idx: int, expires_at: float) -> None:
+        """Record that slot ``idx`` holds a lease until ``expires_at``.
+
+        Later calls supersede earlier ones; superseded heap entries are
+        discarded lazily during the expiry sweep.
+        """
+        self.ensure_capacity(idx + 1)
+        self._expiry[idx] = expires_at
+        self._held[idx] = 1
+        self.renewals += 1
+        heappush(self._heap, (expires_at, idx))
+        if expires_at < self._armed_for:
+            self._arm(expires_at)
+
+    def lapse(self, idx: int) -> bool:
+        """Drop slot ``idx``'s lease record immediately (e.g. on NACK).
+
+        Returns False if the slot held no lease.  Does *not* run the
+        ``on_expire`` callback: the caller is already reacting to the
+        lapse.
+        """
+        if not self.holds_lease(idx):
+            return False
+        self._held[idx] = 0
+        self._expiry[idx] = _INF
+        return True
+
+    # -- pooled expiry ----------------------------------------------------
+    def _arm(self, when: float) -> None:
+        if self._timer_token is not None:
+            self.timers.cancel(self._timer_token)
+        self._armed_for = when
+        self._timer_token = self.timers.at(when, self._sweep)
+
+    def _sweep(self) -> None:
+        """Process every due expiry in one pass, then re-arm once."""
+        self._timer_token = None
+        self._armed_for = _INF
+        now = self.timers.sim.now
+        heap = self._heap
+        expiry = self._expiry
+        held = self._held
+        cb = self.on_expire
+        while heap and heap[0][0] <= now:
+            when, idx = heappop(heap)
+            # Stale entry: renewed to a later deadline, or already lapsed.
+            if not held[idx] or expiry[idx] > when:
+                continue
+            held[idx] = 0
+            expiry[idx] = _INF
+            self.expired += 1
+            if cb is not None:
+                cb(idx)
+        if heap:
+            self._arm(heap[0][0])

@@ -150,6 +150,12 @@ class ControlNetwork:
         self.drop_probability = drop_probability
         self._rng = streams.get("net.control")
         self._endpoints: Dict[str, "Endpoint"] = {}
+        # Lazy-registration hook (scale path): consulted when a datagram
+        # addresses an unattached name, so a parked flyweight client can
+        # be materialized by its own inbound traffic instead of the
+        # datagram dropping.  One resolver for the whole population — no
+        # per-client closures.
+        self._lazy_resolver: Optional[Callable[[str], Optional["Endpoint"]]] = None
         self._blocked: Set[Tuple[str, str]] = set()
         self.delivered_count = 0
         self.dropped_count = 0
@@ -175,6 +181,23 @@ class ControlNetwork:
         if endpoint.name in self._endpoints:
             raise ValueError(f"duplicate endpoint {endpoint.name!r}")
         self._endpoints[endpoint.name] = endpoint
+
+    def detach(self, name: str) -> None:
+        """Forget an endpoint (a parked flyweight client's teardown)."""
+        self._endpoints.pop(name, None)
+
+    def set_lazy_resolver(
+            self,
+            resolver: Optional[Callable[[str], Optional["Endpoint"]]]) -> None:
+        """Install the batch-registration resolver for unattached names.
+
+        ``resolver(name)`` returns an endpoint (typically by
+        materializing a parked client, whose constructor attaches it)
+        or None for names outside the registered population.  Never
+        consulted for already-attached names, so the default delivery
+        path is untouched.
+        """
+        self._lazy_resolver = resolver
 
     @property
     def node_names(self) -> List[str]:
@@ -248,8 +271,12 @@ class ControlNetwork:
             return
         target = endpoints.get(msg.dst)
         if target is None:
-            self.dropped_count += 1
-            return
+            resolver = self._lazy_resolver
+            if resolver is not None:
+                target = resolver(msg.dst)
+            if target is None:
+                self.dropped_count += 1
+                return
         _DeliveryEvent(self, msg, target, self._delay())
 
 

@@ -112,9 +112,9 @@ class RunCollector:
             totals["lease_cpu_ops"] += snap.get("lease_cpu_ops", 0.0)
             totals["lease_msgs_sent"] += snap.get("lease_msgs_sent", 0.0)
         client_msgs = 0.0
-        for cl in system.clients.values():
+        for cl in system.pool.iter_active():
             client_msgs += cl.overhead_snapshot().get("lease_msgs_sent", 0.0)
-        for agent in system.agents.values():
+        for agent in system.pool.iter_agents():
             client_msgs += agent.overhead_snapshot().get("lease_msgs_sent", 0.0)
         totals["client_lease_msgs"] = client_msgs
         for sname, value in totals.items():

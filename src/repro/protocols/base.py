@@ -26,9 +26,9 @@ bumping bespoke attributes.  The legacy ``lease_cpu_ops`` /
 ``lease_msgs_sent`` attributes remain readable as deprecated properties.
 
 :class:`ClientAgent` is the client-side counterpart: the structural
-type of everything living in ``StorageTankSystem.clients`` and
-``.agents`` (clients, heartbeaters, renewers) — anything that can
-report its own ``overhead_snapshot()``.
+type of everything living in a ``StorageTankSystem``'s client pool
+(clients, heartbeaters, renewers) — anything that can report its own
+``overhead_snapshot()``.
 """
 
 from __future__ import annotations

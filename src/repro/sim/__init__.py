@@ -13,6 +13,7 @@ from repro.sim.kernel import Simulator
 from repro.sim.process import Process
 from repro.sim.clock import ClockEnsemble, LocalClock
 from repro.sim.rng import RandomStreams
+from repro.sim.timer_pool import TimerPool
 from repro.sim.trace import TraceRecord, TraceRecorder
 
 __all__ = [
@@ -27,6 +28,7 @@ __all__ = [
     "SimulationError",
     "Simulator",
     "Timeout",
+    "TimerPool",
     "TraceRecord",
     "TraceRecorder",
 ]

@@ -48,6 +48,16 @@ class Simulator:
         """The process currently being resumed, if any."""
         return self._active_process
 
+    @property
+    def events_scheduled(self) -> int:
+        """Total events ever pushed onto the kernel heap (monotonic)."""
+        return self._seq
+
+    @property
+    def pending_events(self) -> int:
+        """Entries currently on the kernel heap (including stale ones)."""
+        return len(self._heap)
+
     # -- event factories ---------------------------------------------------
     def event(self) -> Event:
         """A fresh untriggered event."""

@@ -151,7 +151,7 @@ class LockCompatibilityOracle(Oracle):
     def check_live(self, system: StorageTankSystem) -> List[OracleViolation]:
         """Flag conflicting locks concurrently held under usable leases."""
         holders: Dict[int, List[Tuple[str, LockMode]]] = {}
-        for cname, client in system.clients.items():
+        for cname, client in system.pool.live_items():
             locks = getattr(client, "locks", None)
             leases = getattr(client, "leases", None)
             if locks is None or leases is None:

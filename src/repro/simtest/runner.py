@@ -46,7 +46,7 @@ def _break_skip_flush(system: StorageTankSystem) -> None:
     """Sabotage: clients never perform the expected-failure flush (and
     their background writeback is effectively disabled so it cannot
     mask the missing phase-4 flush)."""
-    for client in system.clients.values():
+    for client in system.pool.iter_active():
         leases = getattr(client, "leases", None)
         if leases is None:
             continue

@@ -50,7 +50,7 @@ def populate_files(system: StorageTankSystem,
     that client's lease.
     """
     wcfg = cfg or system.config.workload
-    first = next(iter(system.clients.values()))
+    first = next(system.pool.iter_active())
     paths = []
     for i in range(wcfg.n_files):
         path = f"{prefix}/f{i:04d}"
@@ -173,7 +173,7 @@ def run_workload(system: StorageTankSystem, duration: float,
         sim.run(until=sim.now + warmup)
 
     drivers = {name: WorkloadDriver(system, name, file_paths, wcfg)
-               for name in system.clients}
+               for name in system.pool.live_names()}
     procs = [system.spawn(d.run(duration), f"wl:{name}")
              for name, d in drivers.items()]
     for p in procs:

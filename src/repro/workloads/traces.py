@@ -178,7 +178,7 @@ class TraceReplayer:
 
     def populate(self) -> Generator[Event, Any, None]:
         """Create the trace's file population (one bootstrap client)."""
-        first = next(iter(self.system.clients.values()))
+        first = next(self.system.pool.iter_active())
         for path, size in self.trace.files.items():
             yield from first.create(path, size=size)
 

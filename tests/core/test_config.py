@@ -64,3 +64,48 @@ def test_cluster_requires_storage_tank_and_two_servers():
         SystemConfig(n_servers=1, cluster=ClusterConfig(enabled=True))
     # Enabled with a sane shape: builds fine.
     SystemConfig(n_servers=2, cluster=ClusterConfig(enabled=True))
+
+
+def test_default_classmethod_is_the_default_installation():
+    assert SystemConfig.default() == SystemConfig()
+
+
+def test_build_system_without_config_routes_through_default():
+    from repro.core.system import build_system
+    system = build_system()
+    assert system.config == SystemConfig.default()
+    assert system.pool.live_count == SystemConfig.default().n_clients
+
+
+def test_shard_map_consistency_validated_up_front():
+    from repro.core import ClusterConfig
+    with pytest.raises(ValueError, match="smaller"):
+        SystemConfig(n_servers=3, protocol="storage_tank",
+                     cluster=ClusterConfig(enabled=True, n_slots=2))
+    with pytest.raises(ValueError, match="not\n?.*divisible|divisible"):
+        SystemConfig(n_servers=4, protocol="storage_tank",
+                     cluster=ClusterConfig(enabled=True, n_slots=30))
+
+
+def test_lazy_clients_require_storage_tank():
+    from repro.core.config import ScaleConfig
+    with pytest.raises(ValueError, match="storage_tank"):
+        SystemConfig(protocol="nfs_polling",
+                     scale=ScaleConfig(lazy_clients=True))
+
+
+def test_lazy_clients_reject_cluster_membership():
+    from repro.core import ClusterConfig
+    from repro.core.config import ScaleConfig
+    with pytest.raises(ValueError, match="cannot be combined"):
+        SystemConfig(n_servers=2, protocol="storage_tank",
+                     cluster=ClusterConfig(enabled=True),
+                     scale=ScaleConfig(lazy_clients=True))
+
+
+def test_slow_clients_must_name_real_clients():
+    with pytest.raises(ValueError, match="c1..c2"):
+        SystemConfig(n_clients=2, slow_clients=("c5",))
+    with pytest.raises(ValueError, match="does not name"):
+        SystemConfig(n_clients=2, slow_clients=("server",))
+    SystemConfig(n_clients=2, slow_clients=("c2",))  # valid: no raise

@@ -16,7 +16,7 @@ from repro.protocols import (
 
 def test_default_build_shape():
     s = build_system(SystemConfig(n_clients=3, n_disks=2, seed=1))
-    assert set(s.clients) == {"c1", "c2", "c3"}
+    assert set(s.pool.live_names()) == {"c1", "c2", "c3"}
     assert set(s.disks) == {"disk1", "disk2"}
     assert isinstance(s.server.authority, ServerLeaseAuthority)
 
@@ -35,7 +35,7 @@ def test_protocol_selects_authority(protocol, auth_type):
 
 def test_nfs_builds_polling_clients():
     s = build_system(SystemConfig(protocol="nfs", seed=1))
-    assert all(isinstance(c, NfsPollingClient) for c in s.clients.values())
+    assert all(isinstance(c, NfsPollingClient) for c in s.pool.iter_active())
 
 
 def test_fencing_only_forces_fence():

@@ -109,3 +109,22 @@ def test_cli_runner_rejects_unknown():
     from repro.harness.__main__ import main
     with pytest.raises(SystemExit):
         main(["e99"])
+
+
+def test_e_scale_point_small_population():
+    from repro.harness.scale import scale_point
+    point = scale_point(1000, duration=10.0)
+    assert point["clients"] == 1000
+    assert point["live"] == 48
+    assert point["kernel_after_build"] <= 64   # O(pools), not O(clients)
+    assert point["parked_expiries"] >= 900     # pooled sweep actually ran
+    assert point["txn_per_sim_s"] > 0
+    assert point["ops_succeeded"] > 0
+
+
+def test_e_scale_table_respects_clients_cap():
+    from repro.harness.scale import experiment_e_scale
+    table = experiment_e_scale(clients=1000, duration=5.0, active=8)
+    rows = table.as_dicts()
+    assert [r["clients"] for r in rows] == [1000]
+    assert all(r["live"] == 8 for r in rows)

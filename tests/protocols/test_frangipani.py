@@ -20,7 +20,7 @@ def test_server_state_exists_from_first_contact():
 def test_heartbeats_flow_while_idle():
     s = make_system(protocol="frangipani", frangipani_heartbeat=5.0)
     s.run(until=30.0)
-    hb = sum(a.heartbeats_sent for a in s.agents.values())
+    hb = sum(a.heartbeats_sent for a in s.pool.iter_agents())
     assert hb >= 2 * (30 // 5) - 2  # two clients, one heartbeat per 5s each
 
 

@@ -50,10 +50,10 @@ def test_every_authority_conforms_to_safety_authority(protocol):
 @pytest.mark.parametrize("protocol", PROTOCOLS)
 def test_clients_and_agents_conform_to_client_agent(protocol):
     system = build_system(SystemConfig(n_clients=2, protocol=protocol))
-    for client in system.clients.values():
+    for client in system.pool.iter_active():
         assert isinstance(client, ClientAgent)
         assert "lease_msgs_sent" in client.overhead_snapshot()
-    for agent in system.agents.values():
+    for agent in system.pool.iter_agents():
         assert isinstance(agent, ClientAgent)
         assert "lease_msgs_sent" in agent.overhead_snapshot()
 
@@ -63,7 +63,7 @@ def test_agents_exist_only_for_agent_protocols():
                                     ("frangipani", True),
                                     ("vleases", True)):
         system = build_system(SystemConfig(n_clients=1, protocol=protocol))
-        assert bool(system.agents) == expects_agent
+        assert bool(system.pool.agents_view()) == expects_agent
 
 
 def test_lazy_package_exports_resolve():
@@ -80,8 +80,17 @@ def test_deprecated_counter_attributes_warn():
         assert auth.lease_msgs_sent == 0
 
 
-def test_deprecated_anyclient_alias_warns():
+def test_anyclient_alias_removed_after_deprecation_cycle():
     import repro.core.system as core_system
-    with pytest.warns(DeprecationWarning, match="AnyClient"):
-        alias = core_system.AnyClient
-    assert alias is not None
+    with pytest.raises(AttributeError, match="AnyClient"):
+        core_system.AnyClient
+
+
+def test_deprecated_clients_and_agents_dicts_warn():
+    system = build_system(SystemConfig(n_clients=1))
+    with pytest.warns(DeprecationWarning, match="system.pool"):
+        clients = system.clients
+    assert set(clients) == {"c1"}
+    with pytest.warns(DeprecationWarning, match="system.pool"):
+        agents = system.agents
+    assert agents == {}
