@@ -6,7 +6,8 @@ so regressions here silently slow every E/A run.  The guides' rule:
 no optimization without measurement — this is the measurement.
 """
 
-from repro.core.config import ScaleConfig, SystemConfig
+from repro.core.config import (NetCacheConfig, ScaleConfig, SystemConfig,
+                               WorkloadConfig)
 from repro.core.system import build_system
 from repro.net import ControlNetwork, Endpoint
 from repro.obs.registry import MetricsRegistry
@@ -14,6 +15,7 @@ from repro.sim import ClockEnsemble, RandomStreams, Simulator
 from repro.sim.trace import TraceRecorder
 from repro.simtest.runner import run_schedule
 from repro.simtest.schedule import generate_schedule
+from repro.workloads.generator import populate_files
 
 
 def _spin_timeouts(n: int) -> float:
@@ -125,6 +127,50 @@ def _spin_fuzz_step() -> None:
 def test_fuzz_step_throughput(benchmark):
     """One full fuzz run (build system, inject faults, check oracles)."""
     benchmark(_spin_fuzz_step)
+
+
+def _spin_netcache_lookup(n: int, entry_ttl: float) -> float:
+    """``n`` cache-tier lookups of one hot path; ``entry_ttl`` picks the row.
+
+    With ``entry_ttl=0`` every lookup after the cold one is a soft-state
+    hit served at the cache node; with a TTL shorter than the think gap
+    the entry ages out before each request, so every lookup takes the
+    full miss path (forward upstream, reinstall) while exercising the
+    identical client→cache→client plumbing.
+    """
+    cfg = SystemConfig(
+        n_clients=1, protocol="storage_tank",
+        workload=WorkloadConfig(n_files=1),
+        netcache=NetCacheConfig(enabled=True, n_nodes=1,
+                                entry_ttl=entry_ttl))
+    system = build_system(cfg)
+    sim = system.sim
+    client = system.client(system.pool.name_of(0))
+
+    def caller():
+        paths = yield from populate_files(system)
+        path = paths[0]
+        yield from client.lookup(path)  # cold install
+        for _ in range(n):
+            yield sim.timeout(0.001)
+            yield from client.lookup(path)
+
+    proc = system.spawn(caller(), "bench:netcache")
+    sim.run_until_event(proc, hard_limit=sim.now + 600)
+    cache = next(iter(system.netcache.values()))
+    served = cache.hits if entry_ttl == 0.0 else cache.misses
+    assert served >= n
+    return cache.hit_rate()
+
+
+def test_netcache_hit_throughput(benchmark):
+    """Lookups/sec served from a cache node's soft state."""
+    assert benchmark(_spin_netcache_lookup, 500, 0.0) > 0.9
+
+
+def test_netcache_miss_throughput(benchmark):
+    """Lookups/sec through the full miss path (forward + reinstall)."""
+    assert benchmark(_spin_netcache_lookup, 500, 1e-4) < 0.1
 
 
 def _spin_scale_registration(n_clients: int) -> int:

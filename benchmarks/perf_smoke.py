@@ -32,9 +32,9 @@ from typing import Callable, Dict, Tuple
 sys.path.insert(0, "src")  # runnable from the repo root without PYTHONPATH
 
 from bench_infrastructure import (  # noqa: E402
-    _spin_fuzz_step, _spin_metrics, _spin_processes, _spin_rpcs,
-    _spin_scale_registration, _spin_timeouts, _spin_trace_counting_only,
-    _spin_trace_emits)
+    _spin_fuzz_step, _spin_metrics, _spin_netcache_lookup, _spin_processes,
+    _spin_rpcs, _spin_scale_registration, _spin_timeouts,
+    _spin_trace_counting_only, _spin_trace_emits)
 
 SCHEMA = "repro.bench-perf/1.0"
 
@@ -59,6 +59,8 @@ BENCHES: Dict[str, Tuple[Callable[[], object], int]] = {
     "fuzz_step": (_spin_fuzz_step, 1),
     "scale_client_registration": (
         lambda: _spin_scale_registration(50_000), 50_000),
+    "netcache_lookup_hit": (lambda: _spin_netcache_lookup(500, 0.0), 500),
+    "netcache_lookup_miss": (lambda: _spin_netcache_lookup(500, 1e-4), 500),
 }
 
 

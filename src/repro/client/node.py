@@ -155,6 +155,10 @@ class StorageTankClient:
         # means that server restarted and lost its lock table — reassert.
         self._server_epoch: Dict[str, int] = {}
         self.endpoint.ack_listeners.append(self._on_epoch)
+        # Deferred transactions ACK their receipt *before* execution, so
+        # the epoch rides the final result instead — a client busy with
+        # opens/creates would otherwise never observe a restart.
+        self.endpoint.result_listeners.append(self._on_epoch)
 
         # file_id -> owning server (populated at create/open).
         self._file_server: Dict[int, str] = {}
@@ -543,6 +547,24 @@ class StorageTankClient:
             if ttl > 0:
                 self._attr_cache[path] = (attrs, self.endpoint.local_now())
             return attrs
+        finally:
+            self._exit()
+
+    def lookup(self, path: str) -> Generator[Event, Any, int]:
+        """Resolve a path to its file id without opening or locking it.
+
+        The lightest metadata read the server offers — and the bread and
+        butter of the in-network cache tier, which serves repeats of it
+        without a server transaction.
+        """
+        srv = self.server_for_path(path)
+        yield from self._admit(srv)
+        self._enter()
+        try:
+            reply = yield from self._rpc(MsgKind.LOOKUP, {"path": path}, srv,
+                                         route=("path", path))
+            self.ops_completed += 1
+            return int(reply.payload["file_id"])
         finally:
             self._exit()
 

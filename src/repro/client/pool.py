@@ -38,8 +38,7 @@ vanishing.
 from __future__ import annotations
 
 from array import array
-from typing import (Callable, Dict, Iterator, List, Mapping, Optional,
-                    Tuple)
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.protocols.base import ClientAgent
 
@@ -255,15 +254,6 @@ class ClientPool:
     def agent_items(self) -> List[Tuple[str, ClientAgent]]:
         """(name, agent) pairs in attachment order."""
         return list(self._agents.items())
-
-    # -- deprecated-view support -------------------------------------------
-    def clients_view(self) -> Mapping[str, ClientAgent]:
-        """Live clients as a read-only mapping (deprecated dict shim)."""
-        return dict(self._live)
-
-    def agents_view(self) -> Mapping[str, ClientAgent]:
-        """Agents as a read-only mapping (deprecated dict shim)."""
-        return dict(self._agents)
 
     # -- flyweight lifecycle -----------------------------------------------
     def _materialize(self, name: str, idx: int, reason: str) -> ClientAgent:

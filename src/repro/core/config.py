@@ -110,6 +110,34 @@ class ClusterConfig:
 
 
 @dataclass(frozen=True)
+class NetCacheConfig:
+    """Knobs for the :mod:`repro.netcache` in-network metadata cache tier.
+
+    Disabled by default: without cache nodes the control network routes
+    every metadata RPC straight to its server, adds zero RNG draws and
+    zero events, and the pinned golden trace hashes stay bit-identical.
+    With ``enabled=True`` the builder interposes ``n_nodes`` soft-state
+    cache nodes (per-rack middleboxes) on the client → server path for
+    the cacheable read-path kinds (lookup/getattr/readdir); coherence
+    rides the lease protocol, so a cache node may die at any instant
+    and the tier degrades to forwarding, never to wrong answers.
+    """
+
+    #: Interpose cache nodes on the control network (storage_tank only).
+    enabled: bool = False
+    #: Number of cache nodes; clients are assigned by stable name hash.
+    n_nodes: int = 1
+    #: Max entry age in local seconds (0 = lease-governed only).
+    entry_ttl: float = 0.0
+    #: Local seconds between lease-lapse sweeps of the entry store.
+    sweep_interval: float = 1.0
+    #: Upstream (cache → server) per-attempt timeout in local seconds.
+    rpc_timeout: float = 1.0
+    #: Upstream retries before a miss is failed back to the client.
+    rpc_retries: int = 3
+
+
+@dataclass(frozen=True)
 class ScaleConfig:
     """Mass-instantiation knobs (the E-scale path).
 
@@ -140,6 +168,13 @@ class WorkloadConfig:
     io_blocks: int = 2             # blocks touched per op
     zipf_s: float = 0.0            # 0 = uniform file popularity
     reopen_probability: float = 0.05
+    #: Fraction of ops that are metadata reads (lookup/getattr/readdir)
+    #: instead of data I/O.  0.0 (default) draws no extra RNG values, so
+    #: pre-existing workload schedules are bit-identical.
+    meta_fraction: float = 0.0
+    #: Of the metadata ops, the fraction that *mutate* (setattr) — the
+    #: traffic that exercises the netcache invalidation barrier.
+    meta_mutate_fraction: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -168,6 +203,7 @@ class SystemConfig:
         default_factory=ObservabilityConfig)
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
     scale: ScaleConfig = field(default_factory=ScaleConfig)
+    netcache: NetCacheConfig = field(default_factory=NetCacheConfig)
     # Baseline knobs
     frangipani_heartbeat: float = 10.0
     vlease_object_duration: float = 10.0
@@ -214,6 +250,14 @@ class SystemConfig:
                 raise ValueError("lazy clients and cluster membership "
                                  "cannot be combined (the coordinator "
                                  "needs the full client list up front)")
+        if self.netcache.enabled:
+            if self.protocol != "storage_tank":
+                raise ValueError("the in-network metadata cache tier is "
+                                 "implemented for the storage_tank "
+                                 "protocol only (coherence rides leases)")
+            if self.netcache.n_nodes < 1:
+                raise ValueError("netcache.n_nodes must be >= 1 when the "
+                                 "cache tier is enabled")
         # A slow client that does not exist is a silently-ignored typo:
         # the §6 experiment would then measure nothing.  Validate names
         # by shape and range instead of materializing client_names()
@@ -241,6 +285,12 @@ class SystemConfig:
     def client_names(self) -> Tuple[str, ...]:
         """The generated client node names."""
         return tuple(f"c{i}" for i in range(1, self.n_clients + 1))
+
+    def cache_names(self) -> Tuple[str, ...]:
+        """Generated cache-node names (empty when the tier is disabled)."""
+        if not self.netcache.enabled:
+            return ()
+        return tuple(f"mcache{i}" for i in range(1, self.netcache.n_nodes + 1))
 
     def disk_names(self) -> Tuple[str, ...]:
         """The generated device names."""

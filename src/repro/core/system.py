@@ -10,7 +10,6 @@ all overhead counters land in one metrics registry.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
@@ -22,6 +21,7 @@ from repro.lease.server_lease import ServerLeaseAuthority
 from repro.net.control import ControlNetwork
 from repro.net.partition import PartitionController, combined_views, is_symmetric
 from repro.net.san import SanFabric
+from repro.netcache import MetadataCacheNode, install_cache_router
 from repro.obs import Observability
 from repro.obs import runlog as _runlog
 from repro.obs.export import export_json, make_document, make_manifest, run_entry
@@ -37,17 +37,6 @@ from repro.sim.trace import TraceRecorder
 from repro.storage.disk import VirtualDisk
 
 
-def __getattr__(name):
-    """The ``AnyClient`` union alias (deprecated for one release) is
-    gone: annotate with :class:`repro.protocols.base.ClientAgent`."""
-    if name == "AnyClient":
-        raise AttributeError(
-            "core.system.AnyClient was removed after its deprecation "
-            "cycle; annotate with the repro.protocols.base.ClientAgent "
-            "protocol instead")
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
-
-
 @dataclass
 class StorageTankSystem:
     """A built installation, ready to run.
@@ -56,8 +45,8 @@ class StorageTankSystem:
     :class:`~repro.client.pool.ClientPool` accessor
     (``system.pool.get(name)``, ``system.pool.iter_active()``,
     ``len(system.pool)``), which is also the flyweight store on the
-    scale path.  The historical ``clients``/``agents`` dict attributes
-    remain readable for one release behind a ``DeprecationWarning``.
+    scale path.  (The pre-pool ``clients``/``agents`` dict attributes
+    finished their deprecation cycle and are gone.)
     """
 
     config: SystemConfig
@@ -77,26 +66,8 @@ class StorageTankSystem:
     timers: Optional[TimerPool] = None
     #: Coalesced lease-lapse tracking for parked flyweight clients.
     pooled_leases: Optional[PooledLeaseService] = None
-
-    # -- deprecated dict attributes (one release behind the pool) ---------
-    @property
-    def clients(self) -> Dict[str, ClientAgent]:
-        """Deprecated: live clients as a dict — use :attr:`pool`."""
-        warnings.warn(
-            "StorageTankSystem.clients is deprecated; use system.pool "
-            "(pool.get(name), pool.iter_active(), len(pool))",
-            DeprecationWarning, stacklevel=2)
-        return dict(self.pool.clients_view())
-
-    @property
-    def agents(self) -> Dict[str, ClientAgent]:
-        """Deprecated: protocol agents as a dict — use :attr:`pool`
-        (``pool.agent_for(name)`` / ``pool.iter_agents()``)."""
-        warnings.warn(
-            "StorageTankSystem.agents is deprecated; use system.pool "
-            "(pool.agent_for(name), pool.iter_agents())",
-            DeprecationWarning, stacklevel=2)
-        return dict(self.pool.agents_view())
+    #: In-network metadata cache nodes by name (empty when the tier is off).
+    netcache: Dict[str, MetadataCacheNode] = field(default_factory=dict)
 
     # -- convenience ------------------------------------------------------
     @property
@@ -182,6 +153,9 @@ class StorageTankSystem:
                 snap[f"{sname}.transactions"] = srv.transactions
                 snap[f"{sname}.lock_grants"] = srv.locks.grants
                 snap[f"{sname}.state_bytes"] = srv.authority.state_bytes()
+        for cname, cache in self.netcache.items():
+            for key, val in cache.counters().items():
+                snap[f"{cname}.{key}"] = val
         if self.coordinator is not None:
             snap["cluster.map_epoch"] = self.coordinator.map.epoch
             snap["cluster.takeovers"] = self.coordinator.takeovers
@@ -360,12 +334,27 @@ def build_system(config: Optional[SystemConfig] = None) -> StorageTankSystem:
                 cl.attach_cluster(cfg.cluster.coordinator_name, initial)
         coordinator.start()
 
+    netcache: Dict[str, MetadataCacheNode] = {}
+    if cfg.netcache.enabled:
+        # In-network metadata cache tier: per-rack soft-state nodes the
+        # control network routes cacheable reads through.  Constructed
+        # last so every other node's build order (and therefore every
+        # existing golden trace) is untouched; when disabled this block
+        # is a no-op and the transmit path has a None router.
+        for mname in cfg.cache_names():
+            netcache[mname] = MetadataCacheNode(
+                sim, net, mname, server_names, clocks.create(mname),
+                contract, cfg.netcache, trace=trace, obs=obs)
+        for srv in servers.values():
+            srv.attach_cache_nodes(cfg.cache_names())
+        install_cache_router(net, netcache, server_names)
+
     system = StorageTankSystem(config=cfg, sim=sim, streams=streams,
                                trace=trace, clocks=clocks, control_net=net,
                                san=san, disks=disks, server=server,
                                pool=pool, servers=servers, obs=obs,
                                coordinator=coordinator, timers=timers,
-                               pooled_leases=pooled)
+                               pooled_leases=pooled, netcache=netcache)
     if collector is not None:
         collector.on_system_built(system)
     return system

@@ -39,6 +39,9 @@ STEP_KINDS: Dict[str, Tuple[str, Tuple[str, ...]]] = {
     "restart_server": ("restart_server", ("server",)),
     "loss_burst": ("loss_burst", ("probability",)),
     "end_loss_burst": ("end_loss_burst", ()),
+    "crash_cache": ("crash_cache_node", ("node",)),
+    "restart_cache": ("restart_cache_node", ("node",)),
+    "flush_cache": ("flush_cache_node", ("node",)),
 }
 
 
@@ -197,6 +200,26 @@ class FaultInjector:
             sysm.control_net.drop_probability = \
                 sysm.config.network.ctrl_drop_probability
         return self._add("end_loss_burst", restore)
+
+    def crash_cache_node(self, node: str) -> "FaultInjector":
+        """Kill a metadata cache node: endpoint down, soft state wiped.
+        The crash:{node} label shape matches clients/servers so the
+        oracle helpers' crash-window reconstruction applies unchanged."""
+        sysm = self.system
+        return self._add(f"crash:{node}",
+                         lambda: sysm.netcache[node].crash())
+
+    def restart_cache_node(self, node: str) -> "FaultInjector":
+        """Bring a crashed cache node back with a cold (empty) store."""
+        sysm = self.system
+        return self._add(f"restart:{node}",
+                         lambda: sysm.netcache[node].restart())
+
+    def flush_cache_node(self, node: str) -> "FaultInjector":
+        """Administratively drop every entry a cache node holds."""
+        sysm = self.system
+        return self._add(f"flush_cache:{node}",
+                         lambda: sysm.netcache[node].flush_all())
 
     def custom(self, label: str, fn: Callable[[], None]) -> "FaultInjector":
         """Queue an arbitrary action."""

@@ -125,7 +125,11 @@ class _DeliveryEvent(Event):
         net.bytes_delivered += msg.size_bytes()
         trace = net.trace
         if not trace._noop:
-            trace.emit(net.sim._now, "msg.recv", msg.dst,
+            # Attribute the receive to the endpoint that actually takes
+            # delivery: an in-network cache interposing on msg.dst must
+            # not leave trace events claiming the origin server saw the
+            # request (the nack-timed-out oracle audits exactly that).
+            trace.emit(net.sim._now, "msg.recv", target.name,
                        msg_kind=msg.kind, src=msg.src, msg_id=msg.msg_id,
                        seq=msg.seq)
         target._on_datagram(msg)
@@ -156,6 +160,15 @@ class ControlNetwork:
         # datagram dropping.  One resolver for the whole population — no
         # per-client closures.
         self._lazy_resolver: Optional[Callable[[str], Optional["Endpoint"]]] = None
+        # Route-through-cache hook (netcache tier): consulted per datagram
+        # after loss, before destination resolution.  Returns the cache
+        # endpoint that should receive the message *in place of* its
+        # addressed destination, or None for the normal direct path.
+        # ``msg.dst`` is left untouched — the cache node reads it as the
+        # upstream server to forward misses to.  None (the default) adds
+        # zero branches of consequence and zero RNG draws: golden traces
+        # are bit-identical with the tier disabled.
+        self._cache_router: Optional[Callable[[Message], Optional["Endpoint"]]] = None
         self._blocked: Set[Tuple[str, str]] = set()
         self.delivered_count = 0
         self.dropped_count = 0
@@ -198,6 +211,19 @@ class ControlNetwork:
         path is untouched.
         """
         self._lazy_resolver = resolver
+
+    def set_cache_router(
+            self,
+            router: Optional[Callable[[Message], Optional["Endpoint"]]]) -> None:
+        """Install the route-through-cache attachment (netcache tier).
+
+        ``router(msg)`` returns the interposed cache endpoint for
+        cacheable read-path requests, or None to deliver directly.  The
+        router must return None for dead cache nodes so a crashed cache
+        degrades to plain forwarding — the sender's retry then reaches
+        the authoritative server unmediated.
+        """
+        self._cache_router = router
 
     @property
     def node_names(self) -> List[str]:
@@ -269,6 +295,12 @@ class ControlNetwork:
                 trace.emit(self.sim._now, "msg.dropped", msg.src,
                            dst=msg.dst, msg_kind=msg.kind)
             return
+        router = self._cache_router
+        if router is not None:
+            interposed = router(msg)
+            if interposed is not None:
+                _DeliveryEvent(self, msg, interposed, self._delay())
+                return
         target = endpoints.get(msg.dst)
         if target is None:
             resolver = self._lazy_resolver
@@ -311,7 +343,7 @@ class Endpoint:
         self.alive = True
         # Observability bundle (set by node constructors / build_system);
         # None means no metrics/span recording on this endpoint.
-        self.obs = None
+        self.obs: Optional["Observability"] = None
 
         self._handlers: Dict[str, Handler] = {}
         self._gatekeeper: Optional[Callable[[Message], Optional[str]]] = None
@@ -330,6 +362,15 @@ class Endpoint:
         self._rpc_hist_registry: Optional[object] = None
 
         self.ack_listeners: List[Callable[[Message, float], None]] = []
+        # Fired on a deferred transaction's *final* result, which never
+        # passes through ``ack_listeners`` (the receipt ACK did, and the
+        # completion is reconstructed locally from the RESULT payload).
+        # The receipt already renewed the lease; finals only carry the
+        # slow-path signals stamped into the payload, e.g. ``__epoch__``
+        # — without this hook a client whose traffic is dominated by
+        # deferred transactions never notices a server restart and never
+        # reasserts its locks (§6).
+        self.result_listeners: List[Callable[[Message, float], None]] = []
         self.nack_listeners: List[Callable[[Message], None]] = []
         self.delivery_failure_listeners: List[Callable[[str, Message], None]] = []
 
@@ -368,6 +409,20 @@ class Endpoint:
     def restart(self) -> None:
         """Resume receiving after a crash."""
         self.alive = True
+
+    def forget_peer(self, src: str) -> None:
+        """Drop the at-most-once replay state kept for one peer.
+
+        Called when the lease protocol *resolves* a peer (the τ(1+ε)
+        suspect wait elapsed and its locks were stolen): the resolution
+        is the protocol's declaration that the old incarnation is dead,
+        so replay-cached results from it must not leak to a restarted
+        incarnation that happens to reuse sequence numbers.  The stale
+        keys left in the eviction order are popped harmlessly later.
+        """
+        dead = [key for key in self._executed if key[0] == src]
+        for key in dead:
+            del self._executed[key]
 
     # -- local time ---------------------------------------------------------
     def local_now(self) -> float:
@@ -449,6 +504,8 @@ class Endpoint:
                         final = yield from self._await_result(
                             msg, int(reply.payload["__ticket__"]), pol,
                             attempt_times, attempt_ids)
+                        for fn in self.result_listeners:
+                            fn(final, renewal_time)
                         self._rpc_done(span, kind, t0, "ack")
                         return final
                     self._rpc_done(span, kind, t0, "ack")

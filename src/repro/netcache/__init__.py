@@ -1,0 +1,13 @@
+"""In-network metadata cache tier (per-rack / middlebox soft state).
+
+Fletch-style metadata caching on the control network: cache nodes sit
+between clients and metadata servers, serve read-path metadata RPCs
+(lookup/getattr/readdir) from soft state, and forward misses upstream.
+Coherence rides the paper's lease protocol — see
+:mod:`repro.netcache.node` for the full safety argument.
+"""
+
+from repro.netcache.node import (CACHEABLE_KINDS, MetadataCacheNode,
+                                 install_cache_router)
+
+__all__ = ["CACHEABLE_KINDS", "MetadataCacheNode", "install_cache_router"]

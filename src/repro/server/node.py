@@ -109,6 +109,18 @@ class StorageTankServer:
         self._fenced: Set[str] = set()
         self._active_demands: Set[Tuple[str, int, LockMode]] = set()
 
+        # In-network metadata cache tier (repro.netcache).  Empty by
+        # default: the barrier machinery then adds zero branches to the
+        # mutation handlers and zero payload keys to replies, keeping
+        # golden traces bit-identical.  ``_cache_mseq`` counts claimed
+        # mutation barriers; ``_cache_pending`` holds barriers claimed
+        # but not yet applied — replies executed while it is non-empty
+        # are stamped uninstallable (__mseq__ = -1).
+        self._cache_nodes: Tuple[str, ...] = ()
+        self._cache_set: frozenset = frozenset()
+        self._cache_mseq = 0
+        self._cache_pending: Set[int] = set()
+
         # The server's full transaction surface.  RPL006 checks these
         # registrations against the KIND_GROUPS partition: adding a kind
         # to a declared group without a handler fails static analysis.
@@ -145,6 +157,13 @@ class StorageTankServer:
         self.endpoint.register(MsgKind.CLUSTER_MAP_UPDATE, role.h_map_update)
         self.endpoint.register(MsgKind.CLUSTER_RELEASE, role.h_release)
 
+    def attach_cache_nodes(self, names: Tuple[str, ...]) -> None:
+        """Enroll the netcache tier: replies to these nodes carry a
+        mutation watermark and metadata mutations run the
+        invalidate-before-apply barrier against them."""
+        self._cache_nodes = tuple(names)
+        self._cache_set = frozenset(names)
+
     def _register(self, kind: str, fn: Callable[[Message], Any]) -> None:
         def wrapped(msg: Message):
             if self.cluster is not None:
@@ -159,7 +178,10 @@ class StorageTankServer:
                 # A stolen client is back in contact: its lease expired and
                 # its cache is gone, so it is safe to re-admit to the SAN.
                 self.unfence_client(msg.src)
-            return self._stamp_epoch(fn(msg))
+            result = self._stamp_epoch(fn(msg))
+            if msg.src in self._cache_set:
+                result = self._stamp_mseq(result)
+            return result
 
         self.endpoint.register(kind, wrapped)
 
@@ -181,6 +203,90 @@ class StorageTankServer:
                 return self._stamp_epoch(inner)
             return stamped()
         return result
+
+    def _stamp_mseq(self, result: Any) -> Any:
+        """Watermark an ACK to a cache node with the mutation counter.
+
+        The stamp is taken when the reply is built, which for the
+        cacheable read kinds (synchronous handlers) is their execution
+        instant.  ``-1`` while any mutation barrier is pending marks the
+        reply uninstallable: the value may predate a mutation whose
+        invalidation the cache has already processed."""
+        if isinstance(result, tuple) and len(result) == 2:
+            decision, payload = result
+            if decision == "ack":
+                payload = dict(payload or {})
+                payload["__mseq__"] = (-1 if self._cache_pending
+                                       else self._cache_mseq)
+                return (decision, payload)
+            return result
+        if hasattr(result, "send"):
+            gen = result
+
+            def stamped() -> Generator[Event, Any, Any]:
+                inner = yield from gen
+                return self._stamp_mseq(inner)
+            return stamped()
+        return result
+
+    # ------------------------------------------------------------------
+    # netcache coherence barrier
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _ancestor_dirs(path: str) -> List[str]:
+        """Every directory whose listing names ``path`` or a prefix of
+        it, root included — the namespace has implicit directories, so a
+        create/unlink can change any ancestor's readdir answer."""
+        dirs: List[str] = []
+        p = path.rsplit("/", 1)[0]
+        while True:
+            dirs.append(p or "/")
+            if not p or p == "/":
+                break
+            p = p.rsplit("/", 1)[0]
+        return dirs
+
+    def _claim_barrier(self) -> int:
+        """Claim the next mutation barrier (reads stamp -1 until release)."""
+        self._cache_mseq += 1
+        barrier = self._cache_mseq
+        self._cache_pending.add(barrier)
+        return barrier
+
+    def _invalidate_caches(self, barrier: int, payload: Dict[str, Any],
+                           ) -> Generator[Event, Any, None]:
+        """Push one invalidation round to every cache node and wait.
+
+        A cache that ACKs has dropped the named entries and raised its
+        barrier floor.  A cache that cannot be reached is handled by the
+        lease machinery: the delivery failure marked it suspect, so we
+        wait for the authority's resolution (the τ(1+ε) suspect timer of
+        Theorem 3.1) — after which the cache's own clock has expired the
+        covering lease and its entries are unusable.  Only then may the
+        mutation apply."""
+        body = dict(payload)
+        body["barrier"] = barrier
+        for cname in self._cache_nodes:
+            try:
+                yield from self.endpoint.request(
+                    cname, MsgKind.CACHE_INVALIDATE, dict(body))
+            except NackError:
+                pass  # cache refused: it holds nothing it will serve
+            except DeliveryError:
+                res = self.authority.resolution(cname)
+                if res is not None:
+                    yield res
+                else:
+                    yield self.endpoint.local_timeout(
+                        self.contract.server_wait_local())
+
+    def _trace_mutate(self, op: str, **fields: Any) -> None:
+        """Record a namespace mutation at apply time (cache tier only):
+        the authoritative timeline the stale-entry oracle replays."""
+        trace = self.trace
+        if not trace._noop:
+            trace.emit(self.sim.now, "meta.mutate", self.name, op=op,
+                       **fields)
 
     def local_now(self) -> float:
         """Server local-clock reading."""
@@ -217,6 +323,10 @@ class StorageTankServer:
         """Stop honoring every lock the client holds (authority callback)."""
         if self.config.fence_on_steal:
             self.fence_client(client)
+        # The resolution declares the client's old incarnation dead: its
+        # replay-cached results must not answer a restarted incarnation
+        # that reuses sequence numbers (stale grants served verbatim).
+        self.endpoint.forget_peer(client)
         stolen = self.locks.steal_all(client)
         stolen_ranges = self.range_locks.steal_all(client)
         self.trace.emit(self.sim.now, "server.steal", self.name,
@@ -340,12 +450,36 @@ class StorageTankServer:
         store = self._meta_for_path(path)
         if store.exists(path):
             return ("nack", {"error": "exists"})
+        if self._cache_nodes:
+            return self._create_with_barrier(msg, path, size, store)
         ino = store.create_file(path, size, now=self.sim.now)
         if self.cluster is not None:
             self.cluster.note_create(ino.file_id, path)
         return ("ack", {"file_id": ino.file_id,
                         "attrs": ino.attrs.to_payload(),
                         "extents": extents_to_payload(ino.extents)})
+
+    def _create_with_barrier(self, msg: Message, path: str, size: int,
+                             store: MetadataStore,
+                             ) -> Generator[Event, Any, Tuple[str, Dict[str, Any]]]:
+        barrier = self._claim_barrier()
+        try:
+            yield from self._invalidate_caches(
+                barrier, {"paths": [path],
+                          "dirs": self._ancestor_dirs(path)})
+            if store.exists(path):
+                # Raced another create while the barrier ran.
+                return ("nack", {"error": "exists"})
+            ino = store.create_file(path, size, now=self.sim.now)
+            if self.cluster is not None:
+                self.cluster.note_create(ino.file_id, path)
+            self._trace_mutate("create", path=path, file_id=ino.file_id,
+                               size=ino.attrs.size)
+            return ("ack", {"file_id": ino.file_id,
+                            "attrs": ino.attrs.to_payload(),
+                            "extents": extents_to_payload(ino.extents)})
+        finally:
+            self._cache_pending.discard(barrier)
 
     def _h_open(self, msg: Message):
         path = msg.payload["path"]
@@ -390,6 +524,8 @@ class StorageTankServer:
         file_id = int(msg.payload["file_id"])
         size = msg.payload.get("size")
         store = self._meta_for_file(file_id)
+        if self._cache_nodes:
+            return self._setattr_with_barrier(msg, file_id, size, store)
         try:
             if size is not None:
                 ino = store.ensure_size(file_id, int(size), now=self.sim.now)
@@ -400,6 +536,29 @@ class StorageTankServer:
             return ("nack", {"error": str(exc)})
         return ("ack", {"attrs": ino.attrs.to_payload(),
                         "extents": extents_to_payload(ino.extents)})
+
+    def _setattr_with_barrier(self, msg: Message, file_id: int, size: Any,
+                              store: MetadataStore,
+                              ) -> Generator[Event, Any, Tuple[str, Dict[str, Any]]]:
+        barrier = self._claim_barrier()
+        try:
+            yield from self._invalidate_caches(barrier,
+                                               {"file_ids": [file_id]})
+            try:
+                if size is not None:
+                    ino = store.ensure_size(file_id, int(size),
+                                            now=self.sim.now)
+                else:
+                    ino = store.set_attrs(file_id, now=self.sim.now,
+                                          mode=msg.payload.get("mode"))
+            except NamespaceError as exc:
+                return ("nack", {"error": str(exc)})
+            self._trace_mutate("setattr", file_id=file_id,
+                               size=ino.attrs.size)
+            return ("ack", {"attrs": ino.attrs.to_payload(),
+                            "extents": extents_to_payload(ino.extents)})
+        finally:
+            self._cache_pending.discard(barrier)
 
     def _h_lookup(self, msg: Message):
         try:
@@ -423,11 +582,24 @@ class StorageTankServer:
 
         def run() -> Generator[Event, Any, Tuple[str, Dict[str, Any]]]:
             yield from self._grant_lock(msg.src, fid, LockMode.EXCLUSIVE)
+            barrier = 0
+            if self._cache_nodes:
+                barrier = self._claim_barrier()
             try:
-                store.unlink(path)
-            except NamespaceError as exc:
-                self.locks.release(msg.src, fid)
-                return ("nack", {"error": str(exc)})
+                if barrier:
+                    yield from self._invalidate_caches(
+                        barrier, {"paths": [path], "file_ids": [fid],
+                                  "dirs": self._ancestor_dirs(path)})
+                try:
+                    store.unlink(path)
+                except NamespaceError as exc:
+                    self.locks.release(msg.src, fid)
+                    return ("nack", {"error": str(exc)})
+                if barrier:
+                    self._trace_mutate("unlink", path=path, file_id=fid)
+            finally:
+                if barrier:
+                    self._cache_pending.discard(barrier)
             self.locks.release(msg.src, fid)
             return ("ack", {"file_id": fid})
         return run()

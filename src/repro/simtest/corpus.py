@@ -31,9 +31,13 @@ CORPUS_SCHEMA = "repro.simtest.corpus/1.0"
 #: Default on-disk location (inside the installed package).
 CORPUS_PATH = os.path.join(os.path.dirname(__file__), "corpus.json")
 
-#: The blessed (seed, n_steps) pairs.  Small step counts keep a full
-#: corpus replay inside the tier-1 time budget.
-PINNED_RUNS = ((0, 12), (1, 12), (7, 16), (23, 16), (42, 20))
+#: The blessed (seed, n_steps, cache_nodes) triples.  Small step counts
+#: keep a full corpus replay inside the tier-1 time budget.  The
+#: cache-enabled entries run the metadata workload against the netcache
+#: tier (cache crash/flush fault kinds join the pool), so the corpus
+#: also pins the cache coherence machinery's event order.
+PINNED_RUNS = ((0, 12, 0), (1, 12, 0), (7, 16, 0), (23, 16, 0),
+               (42, 20, 0), (2, 10, 2), (8, 10, 2))
 
 
 @dataclass(frozen=True)
@@ -43,11 +47,13 @@ class CorpusEntry:
     seed: int
     n_steps: int
     trace_hash: str
+    cache_nodes: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serializable form (what ``corpus.json`` stores)."""
         return {"seed": self.seed, "n_steps": self.n_steps,
-                "trace_hash": self.trace_hash}
+                "trace_hash": self.trace_hash,
+                "cache_nodes": self.cache_nodes}
 
 
 @dataclass
@@ -77,13 +83,15 @@ def load_corpus(path: Optional[str] = None) -> List[CorpusEntry]:
         raise ValueError(f"{corpus_path}: expected schema "
                          f"{CORPUS_SCHEMA!r}, got {doc.get('schema')!r}")
     return [CorpusEntry(seed=int(e["seed"]), n_steps=int(e["n_steps"]),
-                        trace_hash=str(e["trace_hash"]))
+                        trace_hash=str(e["trace_hash"]),
+                        cache_nodes=int(e.get("cache_nodes", 0)))
             for e in doc.get("entries", [])]
 
 
 def replay_entry(entry: CorpusEntry) -> ReplayOutcome:
     """Re-run one pinned seed and compare against its blessing."""
-    schedule = generate_schedule(entry.seed, entry.n_steps)
+    schedule = generate_schedule(entry.seed, entry.n_steps,
+                                 cache_nodes=entry.cache_nodes)
     return ReplayOutcome(entry=entry, result=run_schedule(schedule))
 
 
@@ -99,14 +107,16 @@ def bless_corpus(path: Optional[str] = None) -> List[CorpusEntry]:
     *clean* runs; failing schedules belong in failure artifacts.
     """
     entries: List[CorpusEntry] = []
-    for seed, n_steps in PINNED_RUNS:
-        result = run_schedule(generate_schedule(seed, n_steps))
+    for seed, n_steps, cache_nodes in PINNED_RUNS:
+        result = run_schedule(generate_schedule(seed, n_steps,
+                                                cache_nodes=cache_nodes))
         if not result.ok:
             raise ValueError(
                 f"refusing to bless seed {seed}: oracles fired "
                 f"({result.oracle_names()})")
         entries.append(CorpusEntry(seed=seed, n_steps=n_steps,
-                                   trace_hash=result.trace_hash))
+                                   trace_hash=result.trace_hash,
+                                   cache_nodes=cache_nodes))
     doc = {"schema": CORPUS_SCHEMA,
            "entries": [e.to_dict() for e in entries]}
     with open(path or CORPUS_PATH, "w", encoding="utf-8") as fh:

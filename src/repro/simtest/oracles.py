@@ -27,6 +27,7 @@ from repro.analysis.consistency import ConsistencyAuditor
 from repro.core.system import StorageTankSystem
 from repro.lease.contract import LeaseContract
 from repro.locks.modes import LockMode, compatible
+from repro.metadata.directory import Directory, NamespaceError
 from repro.net.message import MsgKind
 
 #: Message kinds a *passive* server must never originate (§3: the
@@ -444,6 +445,88 @@ class Theorem31Oracle(Oracle):
         return out
 
 
+class CacheNoStaleEntryOracle(Oracle):
+    """Every netcache hit served the value the servers then held.
+
+    The cache tier's one safety claim (DESIGN.md §15): an entry served
+    from soft state is indistinguishable from asking the server at that
+    instant.  The servers emit an authoritative ``meta.mutate`` record
+    at every apply point (post-barrier) and each cache hit carries a
+    value fingerprint, so replaying the trace in emission (= causal)
+    order rebuilds the namespace and catches any hit whose fingerprint
+    disagrees with the metadata state current at serve time.  Runs
+    without a cache tier produce neither record kind and stay silent.
+    """
+
+    name = "cache-serves-no-stale-entry"
+    claim = ("DESIGN.md §15: a metadata value served from a cache node "
+             "always equals the value the owning server held at that "
+             "moment (invalidate-before-apply + lease-scoped entries)")
+
+    def check_final(self, system: StorageTankSystem) -> List[OracleViolation]:
+        """Replay meta.mutate vs netcache.hit records in causal order."""
+        out: List[OracleViolation] = []
+        namespace = Directory()
+        sizes: Dict[int, int] = {}
+        for rec in system.trace.records:
+            if rec.kind == "meta.mutate":
+                op = str(rec.get("op"))
+                if op == "create":
+                    fid = int(rec.get("file_id") or 0)
+                    try:
+                        namespace.create(str(rec.get("path")), fid)
+                    except NamespaceError:
+                        pass
+                    sizes[fid] = int(rec.get("size") or 0)
+                elif op == "setattr":
+                    sizes[int(rec.get("file_id") or 0)] = \
+                        int(rec.get("size") or 0)
+                elif op == "unlink":
+                    try:
+                        namespace.unlink(str(rec.get("path")))
+                    except NamespaceError:
+                        pass
+            elif rec.kind == "netcache.hit":
+                stale = self._stale_hit(rec, namespace, sizes)
+                if stale is not None:
+                    out.append(self._violation(
+                        rec.time, rec.node, stale,
+                        key_kind=rec.get("key_kind"), path=rec.get("path"),
+                        fingerprint=rec.get("fingerprint")))
+        return out
+
+    @staticmethod
+    def _stale_hit(rec: Any, namespace: Directory,
+                   sizes: Dict[int, int]) -> Optional[str]:
+        """Reason string when the hit disagrees with current state."""
+        key_kind = str(rec.get("key_kind"))
+        path = str(rec.get("path"))
+        fp = rec.get("fingerprint")
+        if key_kind == "readdir":
+            expected = tuple(namespace.listdir(path))
+            got = tuple(fp or ())
+            if got != expected:
+                return (f"readdir hit for {path!r} served {got!r}, "
+                        f"authoritative listing is {expected!r}")
+            return None
+        try:
+            fid = namespace.lookup(path)
+        except NamespaceError:
+            return (f"{key_kind} hit for {path!r} served "
+                    f"{fp!r} but the path does not exist")
+        if key_kind == "lookup":
+            if int(fp) != fid:
+                return (f"lookup hit for {path!r} served file id "
+                        f"{fp!r}, authoritative id is {fid}")
+            return None
+        got_fid, got_size = fp
+        if int(got_fid) != fid or int(got_size) != sizes.get(fid, 0):
+            return (f"attrs hit for {path!r} served "
+                    f"(fid={got_fid}, size={got_size}), authoritative is "
+                    f"(fid={fid}, size={sizes.get(fid, 0)})")
+        return None
+
+
 def default_oracles() -> List[Oracle]:
     """The standard invariant library, one instance each."""
     return [
@@ -453,4 +536,5 @@ def default_oracles() -> List[Oracle]:
         PassiveServerOracle(),
         NackTimedOutOracle(),
         Theorem31Oracle(),
+        CacheNoStaleEntryOracle(),
     ]

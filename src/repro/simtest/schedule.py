@@ -22,7 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Mapping, Sequence, Tuple
 
-from repro.core.config import (LeaseConfig, SystemConfig, WorkloadConfig)
+from repro.core.config import (LeaseConfig, NetCacheConfig, SystemConfig,
+                               WorkloadConfig)
 from repro.fault.injector import STEP_KINDS, ScheduleError
 from repro.sim.rng import RandomStreams
 
@@ -38,6 +39,14 @@ PRIMARY_KINDS: Tuple[Tuple[str, float], ...] = (
     ("crash_client", 2.0),
     ("crash_server", 1.0),
     ("loss_burst", 2.0),
+)
+
+#: Extra primaries joined to the pool only when the schedule runs a
+#: netcache tier (``cache_nodes > 0``), so cache-less schedules draw an
+#: unchanged RNG sequence.
+CACHE_KINDS: Tuple[Tuple[str, float], ...] = (
+    ("crash_cache", 2.0),
+    ("flush_cache", 1.0),
 )
 
 
@@ -81,6 +90,9 @@ class Schedule:
     epsilon: float = 0.05
     break_mode: str = ""
     steps: Tuple[FaultStep, ...] = ()
+    #: Number of in-network metadata cache nodes (0 = no cache tier;
+    #: pre-existing serialized schedules deserialize to 0).
+    cache_nodes: int = 0
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -107,6 +119,20 @@ class Schedule:
         window; the workload hammers a handful of files so clients
         actually contend for locks.
         """
+        if self.cache_nodes > 0:
+            # Cache-tier runs shift the workload toward metadata so the
+            # hit path, the invalidation barrier and the stale-entry
+            # oracle all see real traffic.
+            workload = WorkloadConfig(n_files=4, file_size_blocks=8,
+                                      read_fraction=0.6, think_time=0.2,
+                                      io_blocks=2, meta_fraction=0.5,
+                                      meta_mutate_fraction=0.25)
+            netcache = NetCacheConfig(enabled=True, n_nodes=self.cache_nodes)
+        else:
+            workload = WorkloadConfig(n_files=4, file_size_blocks=8,
+                                      read_fraction=0.6, think_time=0.2,
+                                      io_blocks=2)
+            netcache = NetCacheConfig()
         return SystemConfig(
             n_clients=self.n_clients,
             n_servers=1,
@@ -117,9 +143,8 @@ class Schedule:
             rpc_retries=2,
             writeback_interval=2.0,
             lease=LeaseConfig(tau=self.tau, epsilon=self.epsilon),
-            workload=WorkloadConfig(n_files=4, file_size_blocks=8,
-                                    read_fraction=0.6, think_time=0.2,
-                                    io_blocks=2),
+            workload=workload,
+            netcache=netcache,
         )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -132,6 +157,7 @@ class Schedule:
             "tau": self.tau,
             "epsilon": self.epsilon,
             "break_mode": self.break_mode,
+            "cache_nodes": self.cache_nodes,
             "steps": [s.to_dict() for s in self.steps],
         }
 
@@ -149,13 +175,15 @@ class Schedule:
             tau=float(data.get("tau", 8.0)),
             epsilon=float(data.get("epsilon", 0.05)),
             break_mode=str(data.get("break_mode", "")),
+            cache_nodes=int(data.get("cache_nodes", 0)),
             steps=tuple(FaultStep.from_dict(s)
                         for s in data.get("steps", ())),
         )
 
 
 def generate_schedule(seed: int, n_steps: int,
-                      break_mode: str = "") -> Schedule:
+                      break_mode: str = "",
+                      cache_nodes: int = 0) -> Schedule:
     """Draw a randomized fault schedule from one root seed.
 
     ``n_steps`` counts *primary* fault events; paired heals, restarts
@@ -163,18 +191,26 @@ def generate_schedule(seed: int, n_steps: int,
     scales with ``n_steps`` so event density stays constant, and every
     draw comes from the ``"simtest.schedule"`` stream of
     ``RandomStreams(seed)`` — two calls with the same arguments build
-    identical schedules.
+    identical schedules.  With ``cache_nodes > 0`` the run gets a
+    netcache tier and cache crash/flush kinds join the primary pool;
+    with 0 the draw sequence is identical to pre-cache releases.
     """
     if n_steps < 0:
         raise ScheduleError(f"n_steps must be >= 0, got {n_steps}")
+    if cache_nodes < 0:
+        raise ScheduleError(f"cache_nodes must be >= 0, got {cache_nodes}")
     rng = RandomStreams(seed).get("simtest.schedule")
     n_clients = int(rng.integers(2, 4))           # 2 or 3
     epsilon = float(rng.uniform(0.0, 0.1))
     horizon = 16.0 + 1.0 * n_steps
 
     clients = [f"c{i}" for i in range(1, n_clients + 1)]
-    kinds = [k for k, _ in PRIMARY_KINDS]
-    weights = [w for _, w in PRIMARY_KINDS]
+    caches = [f"mcache{i}" for i in range(1, cache_nodes + 1)]
+    pool = list(PRIMARY_KINDS)
+    if cache_nodes > 0:
+        pool.extend(CACHE_KINDS)
+    kinds = [k for k, _ in pool]
+    weights = [w for _, w in pool]
     total_w = sum(weights)
     probs = [w / total_w for w in weights]
 
@@ -208,11 +244,20 @@ def generate_schedule(seed: int, n_steps: int,
             if rng.uniform() < 0.85:
                 steps.append(FaultStep(t_heal, "restart_server",
                                        {"server": "server"}))
-        else:  # loss_burst
+        elif kind == "loss_burst":
             p = float(rng.uniform(0.05, 0.4))
             steps.append(FaultStep(t, "loss_burst", {"probability": p}))
             steps.append(FaultStep(t_heal, "end_loss_burst"))
+        elif kind == "crash_cache":
+            node = caches[int(rng.integers(0, cache_nodes))]
+            steps.append(FaultStep(t, "crash_cache", {"node": node}))
+            if rng.uniform() < 0.8:
+                steps.append(FaultStep(t_heal, "restart_cache",
+                                       {"node": node}))
+        else:  # flush_cache
+            node = caches[int(rng.integers(0, cache_nodes))]
+            steps.append(FaultStep(t, "flush_cache", {"node": node}))
 
     return Schedule(seed=seed, horizon=horizon, n_clients=n_clients,
                     epsilon=epsilon, break_mode=break_mode,
-                    steps=tuple(steps))
+                    cache_nodes=cache_nodes, steps=tuple(steps))

@@ -32,6 +32,8 @@ class WorkloadStats:
     ops_failed: int = 0         # transport-level failures
     reads: int = 0
     writes: int = 0
+    meta_reads: int = 0         # lookup/getattr/readdir ops
+    meta_mutates: int = 0       # unlink+recreate ops
     latencies: List[float] = field(default_factory=list)
 
     @property
@@ -73,6 +75,8 @@ class WorkloadDriver:
         self.zipf = ZipfSampler(len(paths), self.cfg.zipf_s, self.rng)
         self.stats = WorkloadStats()
         self._fds: Dict[str, int] = {}
+        self._meta_seq = 0
+        self._scratch: Optional[str] = None
         self._stopped = False
 
     def stop(self) -> None:
@@ -94,6 +98,12 @@ class WorkloadDriver:
     def _one_op(self) -> Generator[Event, Any, None]:
         sim = self.system.sim
         path = self.paths[self.zipf.sample()]
+        # The > 0.0 guard keeps the RNG draw sequence of pre-existing
+        # (data-only) workload configurations bit-identical.
+        if (self.cfg.meta_fraction > 0.0
+                and self.rng.random() < self.cfg.meta_fraction):
+            yield from self._one_meta_op(path)
+            return
         is_read = self.rng.random() < self.cfg.read_fraction
         self.stats.ops_attempted += 1
         started = sim.now
@@ -124,6 +134,68 @@ class WorkloadDriver:
             self._fds.clear()
         except KeyError:
             self._fds.clear()  # fd table reset under us
+
+    def _one_meta_op(self, path: str) -> Generator[Event, Any, None]:
+        """One metadata op near ``path`` — a read (lookup/getattr/readdir)
+        or, with probability ``meta_mutate_fraction``, a create+unlink
+        pair that drives the server's cache-invalidation barrier.
+
+        Mutations never touch the shared data files (unlinking a file a
+        concurrent writer has open is outside the workload's contract
+        with the consistency audit); they cycle a zero-length scratch
+        path in the same directory, so cached directory listings and the
+        scratch path's own lookup entries go stale-and-invalidated while
+        data I/O is untouched.  Create and unlink alternate across
+        *separate* ops and each is chased with a lookup of the scratch
+        path: the namespace stays perturbed for whole think-time windows
+        and the probe forces the cache tier to answer for the mutated
+        path — a stale entry that survives the invalidation barrier is
+        served to the oracle rather than idling unread.
+        """
+        sim = self.system.sim
+        self.stats.ops_attempted += 1
+        started = sim.now
+        mutate = (self.cfg.meta_mutate_fraction > 0.0
+                  and self.rng.random() < self.cfg.meta_mutate_fraction)
+        try:
+            if mutate:
+                if self._scratch is None:
+                    self._meta_seq += 1
+                    scratch = (f"{path}.{self.client.name}"
+                               f".m{self._meta_seq:04d}")
+                    yield from self.client.create(scratch, size=0)
+                    self._scratch = scratch
+                else:
+                    scratch, self._scratch = self._scratch, None
+                    yield from self.client.unlink(scratch)
+                self.stats.meta_mutates += 1
+                try:
+                    # Probe the mutated path; after the unlink the
+                    # correct answer is a not-found NACK.
+                    yield from self.client.lookup(scratch)
+                except NackError:
+                    pass
+            else:
+                kind = int(self.rng.integers(0, 3))
+                if kind == 0:
+                    yield from self.client.lookup(path)
+                elif kind == 1:
+                    yield from self.client.getattr(path)
+                else:
+                    yield from self.client.readdir(
+                        path.rsplit("/", 1)[0] or "/")
+                self.stats.meta_reads += 1
+            self.stats.ops_succeeded += 1
+            self.stats.latencies.append(sim.now - started)
+        except (ClientQuiescedError, ClientDisconnectedError):
+            self.stats.ops_rejected += 1
+            self._fds.clear()
+        except ClientIOError:
+            self.stats.ops_failed += 1
+        except (DeliveryError, NackError):
+            # Racing unlinks/creates on a shared namespace nack benignly
+            # (not-found / exists); count and move on.
+            self.stats.ops_failed += 1
 
     def _fd_key(self, path: str) -> str:
         return path

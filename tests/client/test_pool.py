@@ -129,11 +129,11 @@ def test_agents_attach_by_name():
     assert pool.agent_items() == [("c1", agent)]
 
 
-def test_views_are_detached_copies():
+def test_live_items_is_a_detached_copy():
     pool = ClientPool.eager({"c1": StubClient("c1")})
-    view = pool.clients_view()
-    assert set(view) == {"c1"}
-    dict(view).clear()
+    items = pool.live_items()
+    assert [name for name, _ in items] == ["c1"]
+    items.clear()
     assert pool.live_count == 1
 
 

@@ -146,3 +146,54 @@ def test_nack_listener_fires_for_deferred_nack(pair):
     with pytest.raises(NackError):
         run_req(sim, client, "server", "fs.open", {})
     assert nacks == [1]
+
+
+def test_result_listener_fires_on_deferred_final(pair):
+    """A deferred transaction's final result bypasses ``ack_listeners``
+    (only the receipt ACK passes through them), so slow-path signals
+    stamped into the payload — like the server epoch — must reach the
+    caller via ``result_listeners``."""
+    sim, net, server, client = pair
+    acks, finals = [], []
+    client.ack_listeners.append(
+        lambda msg, t: acks.append(dict(msg.payload)))
+    client.result_listeners.append(
+        lambda msg, t: finals.append(dict(msg.payload)))
+
+    def handler(msg):
+        def work():
+            yield sim.timeout(0.5)
+            return ("ack", {"__epoch__": 3, "fd": 1})
+        return work()
+    server.register("fs.open", handler)
+    reply = run_req(sim, client, "server", "fs.open", {})
+    assert reply.payload["fd"] == 1
+    # The receipt ACK carried no epoch; the final did.
+    assert acks and all("__epoch__" not in p for p in acks)
+    assert [p.get("__epoch__") for p in finals] == [3]
+
+
+def test_result_listener_silent_on_synchronous_ack(pair):
+    sim, net, server, client = pair
+    finals = []
+    client.result_listeners.append(lambda msg, t: finals.append(msg))
+    server.register("fs.getattr", lambda m: ("ack", {}))
+    run_req(sim, client, "server", "fs.getattr", {})
+    assert finals == []
+
+
+def test_forget_peer_drops_replay_state(pair):
+    """Lease resolution declares the old incarnation dead: its
+    at-most-once replay entries must not leak results to a restarted
+    sender that reuses sequence numbers."""
+    sim, net, server, client = pair
+    server.register("fs.getattr", lambda m: ("ack", {}))
+    run_req(sim, client, "server", "fs.getattr", {})
+    run_req(sim, client, "server", "fs.getattr", {})
+    assert any(key[0] == "client" for key in server._executed)
+    server.forget_peer("client")
+    assert not any(key[0] == "client" for key in server._executed)
+    # Other peers' entries survive a targeted forget.
+    server.forget_peer("nobody")  # no-op
+    run_req(sim, client, "server", "fs.getattr", {})
+    assert any(key[0] == "client" for key in server._executed)

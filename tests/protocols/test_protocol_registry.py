@@ -63,7 +63,7 @@ def test_agents_exist_only_for_agent_protocols():
                                     ("frangipani", True),
                                     ("vleases", True)):
         system = build_system(SystemConfig(n_clients=1, protocol=protocol))
-        assert bool(system.pool.agents_view()) == expects_agent
+        assert bool(system.pool.agent_items()) == expects_agent
 
 
 def test_lazy_package_exports_resolve():
@@ -82,15 +82,14 @@ def test_deprecated_counter_attributes_warn():
 
 def test_anyclient_alias_removed_after_deprecation_cycle():
     import repro.core.system as core_system
-    with pytest.raises(AttributeError, match="AnyClient"):
+    with pytest.raises(AttributeError):
         core_system.AnyClient
 
 
-def test_deprecated_clients_and_agents_dicts_warn():
+def test_clients_and_agents_dicts_removed_after_deprecation_cycle():
     system = build_system(SystemConfig(n_clients=1))
-    with pytest.warns(DeprecationWarning, match="system.pool"):
-        clients = system.clients
-    assert set(clients) == {"c1"}
-    with pytest.warns(DeprecationWarning, match="system.pool"):
-        agents = system.agents
-    assert agents == {}
+    assert not hasattr(system, "clients")
+    assert not hasattr(system, "agents")
+    # The pool accessors are the replacement surface.
+    assert set(n for n, _ in system.pool.live_items()) == {"c1"}
+    assert system.pool.agent_items() == []

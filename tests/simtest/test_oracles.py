@@ -309,5 +309,6 @@ def test_default_oracles_one_of_each():
     names = [o.name for o in default_oracles()]
     assert names == ["lock-compatibility", "no-silent-loss",
                      "expected-failure-flush", "passive-server",
-                     "nack-timed-out", "theorem-3.1"]
+                     "nack-timed-out", "theorem-3.1",
+                     "cache-serves-no-stale-entry"]
     assert all(o.claim for o in default_oracles())

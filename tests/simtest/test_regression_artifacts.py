@@ -1,0 +1,82 @@
+"""Pinned netcache regression schedules, shipped as replay artifacts.
+
+Each artifact under ``tests/simtest/artifacts/`` is a shrunk schedule
+that once exposed (or guards against) a cache-tier coherence bug,
+stored in the same ``repro.simtest/1.0`` format the fuzzer writes, so
+``python -m repro.simtest --replay <artifact>`` reproduces it from the
+command line.  The tests replay every artifact and assert the run is
+clean and the trace hash is bit-identical; two companion tests knock
+out the fixed mechanism and assert the schedule still catches the bug
+(the pin has teeth, not just a hash).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import glob
+import os
+
+import pytest
+
+import repro.netcache.node as netcache_node
+import repro.simtest.runner as runner_mod
+from repro.obs.artifact import load_artifact
+from repro.simtest.runner import run_schedule
+from repro.simtest.schedule import Schedule
+
+ARTIFACT_DIR = os.path.join(os.path.dirname(__file__), "artifacts")
+ARTIFACTS = sorted(glob.glob(os.path.join(ARTIFACT_DIR, "*.json")))
+
+
+def _load(name: str) -> dict:
+    return load_artifact(os.path.join(ARTIFACT_DIR, name))
+
+
+def test_artifacts_present():
+    names = [os.path.basename(p) for p in ARTIFACTS]
+    assert "netcache-reassert-after-server-restart.json" in names
+    assert "netcache-crash-invalidation-race.json" in names
+
+
+@pytest.mark.parametrize("path", ARTIFACTS,
+                         ids=[os.path.basename(p) for p in ARTIFACTS])
+def test_artifact_replays_clean_and_bit_identical(path):
+    doc = load_artifact(path)
+    schedule = Schedule.from_dict(doc["schedule"])
+    assert schedule.cache_nodes > 0, "netcache artifacts run the cache tier"
+    result = run_schedule(schedule)
+    assert result.ok, result.oracle_names()
+    assert result.trace_hash == doc["trace_hash"], \
+        f"{os.path.basename(path)}: trace drifted"
+
+
+def test_reassert_artifact_catches_missed_epoch(monkeypatch):
+    """Without the deferred-final epoch hook the pinned schedule still
+    reproduces the double-EXCLUSIVE it was shrunk from."""
+    doc = _load("netcache-reassert-after-server-restart.json")
+    schedule = Schedule.from_dict(doc["schedule"])
+    build = runner_mod.build_system
+
+    def build_without_hook(cfg):
+        system = build(cfg)
+        for _name, client in system.pool.live_items():
+            listeners = client.endpoint.result_listeners
+            if client._on_epoch in listeners:
+                listeners.remove(client._on_epoch)
+        return system
+
+    monkeypatch.setattr(runner_mod, "build_system", build_without_hook)
+    result = run_schedule(schedule)
+    assert not result.ok
+    assert "lock-compatibility" in result.oracle_names()
+
+
+def test_invalidation_artifact_catches_dropped_invalidations(monkeypatch):
+    """With cache invalidation stubbed out the pinned schedule serves a
+    stale entry and the oracle must say so."""
+    doc = _load("netcache-crash-invalidation-race.json")
+    schedule = Schedule.from_dict(doc["schedule"])
+    monkeypatch.setattr(netcache_node.MetadataCacheNode, "_h_invalidate",
+                        lambda self, msg: ("ack", {}))
+    result = run_schedule(schedule)
+    assert "cache-serves-no-stale-entry" in result.oracle_names()
