@@ -35,6 +35,7 @@ from bench_infrastructure import (  # noqa: E402
     _spin_fuzz_step, _spin_metrics, _spin_netcache_lookup, _spin_processes,
     _spin_rpcs, _spin_scale_registration, _spin_timeouts,
     _spin_trace_counting_only, _spin_trace_emits)
+from lint_smoke import _spin_lint_cold, _spin_lint_warm  # noqa: E402
 
 SCHEMA = "repro.bench-perf/1.0"
 
@@ -61,6 +62,8 @@ BENCHES: Dict[str, Tuple[Callable[[], object], int]] = {
         lambda: _spin_scale_registration(50_000), 50_000),
     "netcache_lookup_hit": (lambda: _spin_netcache_lookup(500, 0.0), 500),
     "netcache_lookup_miss": (lambda: _spin_netcache_lookup(500, 1e-4), 500),
+    "lint_full_repo": (_spin_lint_cold, 1),
+    "lint_full_repo_warm": (_spin_lint_warm, 1),
 }
 
 

@@ -147,6 +147,8 @@ class StorageTankClient:
         self.app_errors = 0
         self.keepalives_sent = 0
         self.reasserts_sent = 0
+        # Range-lock demands received, per file (contention census).
+        self.range_demands_seen: Dict[int, int] = {}
         self._m_lease_msgs = self.obs.registry.counter(
             "lease.client.msgs_sent", "Client-originated lease messages",
             labels=("node",)).labels(node=name)
@@ -194,9 +196,7 @@ class StorageTankClient:
         # Server-initiated requests.
         # repro-lint: handles[client-demands]
         self.endpoint.register(MsgKind.LOCK_DEMAND, self._on_lock_demand)
-        # Range demands are liveness probes: holders release as part of
-        # the operation itself, so acknowledging receipt is the protocol.
-        self.endpoint.register(MsgKind.RANGE_DEMAND, lambda m: ("ack", {}))
+        self.endpoint.register(MsgKind.RANGE_DEMAND, self._on_range_demand)
         self.endpoint.register(MsgKind.CACHE_INVALIDATE, self._on_cache_invalidate)
 
         # Optional external admission gate (baseline agents install one:
@@ -1169,6 +1169,21 @@ class StorageTankClient:
         self.sim.process(self._comply_demand(file_id, needed, msg.src),
                          name=f"{self.name}:comply:{file_id}")
         return ("ack", {"status": "demand_received"})
+
+    def _on_range_demand(self, msg: Message):
+        """A server probes a range-lock holder for liveness.
+
+        Holders release ranges as part of the operation itself, so
+        acknowledging receipt is the whole protocol; record which file
+        drew the demand for the contention census.  Bare demands (no
+        file named) are pure liveness pings and only need the ack.
+        """
+        file_id = msg.payload.get("file_id")
+        if file_id is not None:
+            fid = int(file_id)
+            self.range_demands_seen[fid] = \
+                self.range_demands_seen.get(fid, 0) + 1
+        return ("ack", {})
 
     def _comply_demand(self, file_id: int, needed: LockMode, server: str,
                        ) -> Generator[Event, Any, None]:

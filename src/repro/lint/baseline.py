@@ -1,0 +1,91 @@
+"""Baselines: gate CI on *new* findings only.
+
+A baseline file records a stable fingerprint per accepted finding; a
+``--diff`` run fails only on findings whose fingerprint is absent from
+the baseline, so pre-existing debt never blocks an unrelated change and
+fixed findings simply age out of the file on the next ``--write-baseline``.
+
+The fingerprint is deliberately line-number-free: it hashes the rule
+code, the file path, the *text* of the flagged source line (whitespace-
+normalised) and an occurrence index among identical tuples.  Inserting
+or deleting unrelated lines above a finding therefore does not churn
+the baseline; changing the flagged line itself does, which is exactly
+when a human should re-look.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.lint.engine import LintResult
+from repro.lint.rules import Violation
+
+BASELINE_VERSION = 1
+
+
+def _line_text(root: Path, violation: Violation,
+               cache: Dict[str, List[str]]) -> str:
+    if violation.path not in cache:
+        try:
+            text = (root / violation.path).read_text()
+        except OSError:
+            text = ""
+        cache[violation.path] = text.splitlines()
+    lines = cache[violation.path]
+    if 1 <= violation.line <= len(lines):
+        return " ".join(lines[violation.line - 1].split())
+    return ""
+
+
+def fingerprints(result: LintResult, root: Path) -> List[str]:
+    """One stable fingerprint per finding (parallel to violations)."""
+    cache: Dict[str, List[str]] = {}
+    seen: Dict[Tuple[str, str, str], int] = {}
+    prints: List[str] = []
+    for v in result.violations:
+        key = (v.code, v.path, _line_text(root, v, cache))
+        occurrence = seen.get(key, 0)
+        seen[key] = occurrence + 1
+        material = "\x1f".join([key[0], key[1], key[2], str(occurrence)])
+        prints.append(hashlib.sha256(material.encode()).hexdigest()[:24])
+    return prints
+
+
+@dataclass
+class Baseline:
+    """A set of accepted finding fingerprints."""
+
+    prints: List[str] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        doc = json.loads(path.read_text())
+        if not isinstance(doc, dict) or "fingerprints" not in doc:
+            raise ValueError(f"{path}: not a repro-lint baseline file")
+        return cls(prints=[str(p) for p in doc["fingerprints"]])
+
+    def write(self, path: Path, result: LintResult, root: Path) -> None:
+        """Record the run's findings as the new accepted baseline."""
+        doc = {
+            "version": BASELINE_VERSION,
+            "tool": "repro-lint",
+            "fingerprints": sorted(set(fingerprints(result, root))),
+        }
+        path.write_text(json.dumps(doc, indent=2) + "\n")
+
+    def new_findings(self, result: LintResult, root: Path
+                     ) -> List[Violation]:
+        """Findings whose fingerprint is not in the baseline."""
+        known = set(self.prints)
+        prints = fingerprints(result, root)
+        return [v for v, p in zip(result.violations, prints)
+                if p not in known]
+
+
+def write_baseline(path: Path, result: LintResult, root: Path) -> None:
+    """Write a fresh baseline file holding the run's findings."""
+    Baseline().write(path, result, root)

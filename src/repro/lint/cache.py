@@ -1,0 +1,150 @@
+"""Content-hash incremental cache for the lint engine.
+
+The cache keys on (engine version, effective configuration, selected
+rules) plus a sha256 per file.  Two reuse levels:
+
+* **full hit** — the file set and every content hash match: the entire
+  previous result (including project-wide findings) is returned without
+  parsing anything;
+* **per-file hit** — a file's hash matches: its *per-file* rule
+  findings are reused; the file is still parsed when project-wide rules
+  are selected (they need the whole symbol table), and project-wide
+  rules always re-run on any change, because a change in one module can
+  surface findings in another.
+
+The cache file is plain JSON and safe to delete at any time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.lint.rules import Violation
+
+#: Bump on any change to rule semantics or the cache layout.
+ENGINE_VERSION = "2.0"
+
+
+def _violation_to_json(v: Violation) -> Dict[str, Any]:
+    return {"code": v.code, "message": v.message, "path": v.path,
+            "line": v.line, "col": v.col}
+
+
+def _violation_from_json(doc: Dict[str, Any]) -> Violation:
+    return Violation(code=str(doc["code"]), message=str(doc["message"]),
+                     path=str(doc["path"]), line=int(doc["line"]),
+                     col=int(doc["col"]))
+
+
+def content_hash(data: bytes) -> str:
+    """The per-file cache key: sha256 of the raw file bytes."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def config_key(select_codes: List[str], exclude: List[str],
+               rule_options: Dict[str, Dict[str, Any]]) -> str:
+    """Cache identity for one (engine, rule selection, options) combo."""
+    material = json.dumps({
+        "engine": ENGINE_VERSION,
+        "select": sorted(select_codes),
+        "exclude": sorted(exclude),
+        "options": rule_options,
+    }, sort_keys=True, default=str)
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+class LintCache:
+    """Load/store for one cache file."""
+
+    def __init__(self, path: Path, key: str) -> None:
+        self.path = path
+        self.key = key
+        self.files: Dict[str, Dict[str, Any]] = {}
+        self.project_violations: List[Dict[str, Any]] = []
+        self._loaded_key: Optional[str] = None
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            doc = json.loads(self.path.read_text())
+        except (OSError, ValueError):
+            return
+        if not isinstance(doc, dict):
+            return
+        self._loaded_key = doc.get("key")
+        if self._loaded_key != self.key:
+            return  # config/engine changed: start cold
+        files = doc.get("files", {})
+        if isinstance(files, dict):
+            self.files = {str(k): dict(v) for k, v in files.items()
+                          if isinstance(v, dict)}
+        project = doc.get("project_violations", [])
+        if isinstance(project, list):
+            self.project_violations = [dict(p) for p in project
+                                       if isinstance(p, dict)]
+
+    # -- queries ------------------------------------------------------------
+    def full_hit(self, hashes: Dict[str, str]) -> bool:
+        """Whether the cached file set matches the discovered one exactly."""
+        if self._loaded_key != self.key or not self.files:
+            return False
+        if set(self.files) != set(hashes):
+            return False
+        return all(self.files[rel].get("sha") == sha
+                   for rel, sha in hashes.items())
+
+    def file_hit(self, rel: str, sha: str) -> bool:
+        """Whether the file's cached entry matches its current hash."""
+        entry = self.files.get(rel)
+        return entry is not None and entry.get("sha") == sha
+
+    def file_violations(self, rel: str) -> List[Violation]:
+        """The cached per-file-rule findings for one file."""
+        entry = self.files.get(rel, {})
+        return [_violation_from_json(d) for d in entry.get("violations", [])]
+
+    def file_error(self, rel: str) -> Optional[str]:
+        """The cached parse/read error for one file, if any."""
+        entry = self.files.get(rel, {})
+        err = entry.get("error")
+        return str(err) if err is not None else None
+
+    def cached_project_violations(self) -> List[Violation]:
+        """Project-wide findings from the cached run (full hits only)."""
+        return [_violation_from_json(d) for d in self.project_violations]
+
+    # -- updates ------------------------------------------------------------
+    def store_file(self, rel: str, sha: str, violations: List[Violation],
+                   error: Optional[str] = None) -> None:
+        """Record one file's hash plus its per-file findings/error."""
+        self.files[rel] = {
+            "sha": sha,
+            "violations": [_violation_to_json(v) for v in violations],
+            "error": error,
+        }
+
+    def store_project(self, violations: List[Violation]) -> None:
+        """Record this run's project-wide findings."""
+        self.project_violations = [_violation_to_json(v) for v in violations]
+
+    def prune(self, keep: Dict[str, str]) -> None:
+        """Drop entries for files no longer in the target set."""
+        self.files = {rel: entry for rel, entry in self.files.items()
+                      if rel in keep}
+
+    def save(self) -> None:
+        """Persist the cache to disk (best-effort: failures are silent)."""
+        doc = {
+            "key": self.key,
+            "engine": ENGINE_VERSION,
+            "files": self.files,
+            "project_violations": self.project_violations,
+        }
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self.path.write_text(json.dumps(doc, sort_keys=True) + "\n")
+        except OSError:
+            pass  # caching is best-effort

@@ -1,0 +1,457 @@
+"""Per-function control-flow graphs.
+
+:func:`build_cfg` lowers one function body into basic blocks connected
+by labelled edges:
+
+* ``normal`` — straight-line fallthrough;
+* ``true`` / ``false`` — the two arms of a branch block (the branch
+  condition is the block's ``test`` expression; ``while``/``for`` heads
+  use the same labels, with ``true`` entering the body);
+* ``exc`` — a statement that may raise aborting to an exception
+  continuation.  Dataflow clients propagate the block's *entry* state
+  along ``exc`` edges (the statement's effect may not have happened).
+
+Design choices sized for protocol-rule analysis rather than full Python
+semantics:
+
+* A statement "may raise" iff it contains a call, a ``yield`` (process
+  interrupts arrive there) or is ``raise``/``assert``.  Each may-raise
+  statement gets its own block so exception edges are per-statement.
+* ``finally`` bodies are *duplicated* per continuation (normal exit,
+  exception, ``return``, ``break``, ``continue``) exactly like the
+  CPython compiler lowers them.  Path-sensitive rules therefore see the
+  ``finally`` with the state of the path that entered it.
+* An exception escaping all handlers unwinds through every enclosing
+  ``finally`` copy to the function exit.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+#: Edge labels.
+NORMAL = "normal"
+TRUE = "true"
+FALSE = "false"
+EXC = "exc"
+
+
+@dataclass
+class Edge:
+    """One directed CFG edge."""
+
+    src: "Block"
+    dst: "Block"
+    kind: str = NORMAL
+
+
+@dataclass
+class Block:
+    """A basic block: straight-line statements, one optional branch."""
+
+    id: int
+    stmts: List[ast.stmt] = field(default_factory=list)
+    #: Branch condition when the block ends in true/false edges.
+    test: Optional[ast.expr] = None
+    succs: List[Edge] = field(default_factory=list)
+    preds: List[Edge] = field(default_factory=list)
+
+    def __hash__(self) -> int:
+        return self.id
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+
+@dataclass
+class CFG:
+    """The graph: ``entry`` dominates everything, ``exit`` is unique."""
+
+    func: ast.AST
+    entry: Block
+    exit: Block
+    blocks: List[Block]
+
+    def reachable(self) -> List[Block]:
+        """Blocks reachable from the entry, in discovery order."""
+        seen = {self.entry.id}
+        order = [self.entry]
+        queue = [self.entry]
+        while queue:
+            blk = queue.pop(0)
+            for e in blk.succs:
+                if e.dst.id not in seen:
+                    seen.add(e.dst.id)
+                    order.append(e.dst)
+                    queue.append(e.dst)
+        return order
+
+
+def may_raise(stmt: ast.stmt) -> bool:
+    """Whether the statement can transfer control to a handler."""
+    if isinstance(stmt, (ast.Raise, ast.Assert)):
+        return True
+    for node in ast.walk(stmt):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node is not stmt:
+                continue
+        if isinstance(node, (ast.Call, ast.Yield, ast.YieldFrom, ast.Await)):
+            return True
+    return False
+
+
+@dataclass
+class _Frame:
+    """One enclosing ``try`` while building: where exceptions go and
+    which ``finally`` body abrupt exits must run."""
+
+    handler_entries: List[Block] = field(default_factory=list)
+    finally_stmts: Optional[List[ast.stmt]] = None
+
+
+class _Builder:
+    def __init__(self, func: ast.AST) -> None:
+        self.func = func
+        self.blocks: List[Block] = []
+        self.exit = self._new()
+        self.entry = self._new()
+        self.current: Optional[Block] = self.entry
+        self.frames: List[_Frame] = []
+        #: (head, after, frame depth at loop entry)
+        self.loop_stack: List[Tuple[Block, Block, int]] = []
+
+    # -- low-level ----------------------------------------------------------
+    def _new(self) -> Block:
+        blk = Block(id=len(self.blocks))
+        self.blocks.append(blk)
+        return blk
+
+    def _edge(self, src: Block, dst: Block, kind: str = NORMAL) -> None:
+        e = Edge(src=src, dst=dst, kind=kind)
+        src.succs.append(e)
+        dst.preds.append(e)
+
+    def _start(self) -> Block:
+        """The block new statements append to (created on demand)."""
+        if self.current is None:
+            self.current = self._new()  # unreachable continuation
+        return self.current
+
+    def _seal_to(self, dst: Block) -> None:
+        cur = self.current
+        if cur is not None:
+            self._edge(cur, dst)
+        self.current = dst
+
+    # -- exception plumbing -------------------------------------------------
+    def _exc_targets(self) -> List[Block]:
+        """Where a raising statement can go: the innermost handlers plus
+        the unwind-through-finallys path to the function exit.  The path
+        *to* a handler first runs the pending ``finally`` bodies of
+        every try nested inside the handler's own."""
+        targets: List[Block] = []
+        for idx in range(len(self.frames) - 1, -1, -1):
+            frame = self.frames[idx]
+            if not frame.handler_entries:
+                continue
+            chain: List[Tuple[List[ast.stmt], List[_Frame]]] = []
+            for j in range(len(self.frames) - 1, idx, -1):
+                inner = self.frames[j]
+                if inner.finally_stmts is not None:
+                    chain.append((inner.finally_stmts, self.frames[:j]))
+            if chain:
+                targets.extend(self._inline_finallys(chain, h)
+                               for h in frame.handler_entries)
+            else:
+                targets.extend(frame.handler_entries)
+            break
+        targets.append(self._unwind_path(None))
+        return targets
+
+    def _unwind_path(self, upto: Optional[_Frame]) -> Block:
+        """Build (fresh copies of) every pending ``finally`` from the
+        innermost frame outward, stopping before ``upto``; the chain
+        ends at the function exit.  Returns the chain entry."""
+        chain: List[Tuple[List[ast.stmt], List[_Frame]]] = []
+        for idx in range(len(self.frames) - 1, -1, -1):
+            frame = self.frames[idx]
+            if frame is upto:
+                break
+            if frame.finally_stmts is not None:
+                chain.append((frame.finally_stmts, self.frames[:idx]))
+        if not chain:
+            return self.exit
+        entry = self._inline_finallys(chain, self.exit)
+        return entry
+
+    def _inline_finallys(self,
+                         chain: List[Tuple[List[ast.stmt], List["_Frame"]]],
+                         dest: Block) -> Block:
+        """Lower each ``(finally body, frames still active outside its
+        try)`` in order as a fresh region ending at ``dest``; returns
+        the region entry.  Lowering under the *outer* frames means a
+        raise inside a ``finally`` copy still unwinds through enclosing
+        handlers and pending ``finally`` bodies instead of escaping
+        straight to the exit."""
+        saved_current = self.current
+        saved_frames = self.frames
+        saved_loops = self.loop_stack
+        self.loop_stack = []
+        head = self._new()
+        self.current = head
+        for body, active in chain:
+            if self.current is None:
+                break  # a prior finally body ended abruptly
+            self.frames = list(active)
+            self._stmts(body)
+        if self.current is not None:
+            self._edge(self.current, dest)
+        self.current = saved_current
+        self.frames = saved_frames
+        self.loop_stack = saved_loops
+        return head
+
+    def _abrupt(self, dest: Block, depth: int = 0) -> None:
+        """End the current path at ``dest``, running the ``finally``
+        bodies of every frame entered at or above ``depth``."""
+        cur = self.current
+        if cur is None:
+            return
+        chain: List[Tuple[List[ast.stmt], List[_Frame]]] = []
+        for idx in range(len(self.frames) - 1, depth - 1, -1):
+            frame = self.frames[idx]
+            if frame.finally_stmts is not None:
+                chain.append((frame.finally_stmts, self.frames[:idx]))
+        target = self._inline_finallys(chain, dest) if chain else dest
+        self._edge(cur, target)
+        self.current = None
+
+    # -- statement lowering -------------------------------------------------
+    def _stmts(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            self._stmt(stmt)
+
+    def _simple(self, stmt: ast.stmt) -> None:
+        if may_raise(stmt):
+            blk = self._new()
+            self._seal_to(blk)
+            blk.stmts.append(stmt)
+            for tgt in self._exc_targets():
+                self._edge(blk, tgt, EXC)
+            nxt = self._new()
+            self._seal_to(nxt)
+        else:
+            self._start().stmts.append(stmt)
+
+    def _branch(self, test: ast.expr, carrier: Optional[ast.stmt] = None
+                ) -> Tuple[Block, Block, Block]:
+        """End the current block in a branch on ``test``; returns
+        ``(head, true_block, false_block)``."""
+        head = self._new()
+        self._seal_to(head)
+        if carrier is not None:
+            head.stmts.append(carrier)
+        head.test = test
+        if may_raise(carrier if carrier is not None else ast.Expr(value=test)):
+            for tgt in self._exc_targets():
+                self._edge(head, tgt, EXC)
+        true_blk = self._new()
+        false_blk = self._new()
+        self._edge(head, true_blk, TRUE)
+        self._edge(head, false_blk, FALSE)
+        return head, true_blk, false_blk
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.If):
+            _, true_blk, false_blk = self._branch(stmt.test)
+            after = self._new()
+            self.current = true_blk
+            self._stmts(stmt.body)
+            if self.current is not None:
+                self._edge(self.current, after)
+            self.current = false_blk
+            self._stmts(stmt.orelse)
+            if self.current is not None:
+                self._edge(self.current, after)
+            self.current = after
+        elif isinstance(stmt, ast.While):
+            head = self._new()
+            self._seal_to(head)
+            head.test = stmt.test
+            body_blk = self._new()
+            after = self._new()
+            self._edge(head, body_blk, TRUE)
+            self._edge(head, after, FALSE)
+            self.loop_stack.append((head, after, len(self.frames)))
+            self.current = body_blk
+            self._stmts(stmt.body)
+            if self.current is not None:
+                self._edge(self.current, head)
+            self.loop_stack.pop()
+            self.current = after
+            # while/else runs on normal loop exit; fold into `after`.
+            self._stmts(stmt.orelse)
+        elif isinstance(stmt, ast.For):
+            head = self._new()
+            self._seal_to(head)
+            head.stmts.append(stmt)  # carries iter + target binding
+            if may_raise_expr(stmt.iter):
+                for tgt in self._exc_targets():
+                    self._edge(head, tgt, EXC)
+            body_blk = self._new()
+            after = self._new()
+            self._edge(head, body_blk, TRUE)
+            self._edge(head, after, FALSE)
+            self.loop_stack.append((head, after, len(self.frames)))
+            self.current = body_blk
+            self._stmts(stmt.body)
+            if self.current is not None:
+                self._edge(self.current, head)
+            self.loop_stack.pop()
+            self.current = after
+            self._stmts(stmt.orelse)
+        elif isinstance(stmt, ast.Try):
+            self._try(stmt)
+        elif isinstance(stmt, ast.With):
+            self._simple(stmt)  # context expr + as-bindings
+            self._stmts(stmt.body)
+        elif isinstance(stmt, ast.Return):
+            blk = self._new()
+            self._seal_to(blk)
+            blk.stmts.append(stmt)
+            if stmt.value is not None and may_raise_expr(stmt.value):
+                for tgt in self._exc_targets():
+                    self._edge(blk, tgt, EXC)
+            self._abrupt(self.exit)
+        elif isinstance(stmt, ast.Raise):
+            blk = self._new()
+            self._seal_to(blk)
+            blk.stmts.append(stmt)
+            for tgt in self._exc_targets():
+                self._edge(blk, tgt, EXC)
+            self.current = None
+        elif isinstance(stmt, ast.Break):
+            if self.loop_stack:
+                head, after, depth = self.loop_stack[-1]
+                self._abrupt(after, depth)
+            else:
+                self.current = None
+        elif isinstance(stmt, ast.Continue):
+            if self.loop_stack:
+                head, after, depth = self.loop_stack[-1]
+                self._abrupt(head, depth)
+            else:
+                self.current = None
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            self._start().stmts.append(stmt)  # definition, cannot branch
+        else:
+            self._simple(stmt)
+
+    def _try(self, stmt: ast.Try) -> None:
+        handler_entries = [self._new() for _ in stmt.handlers]
+        frame = _Frame(handler_entries=handler_entries,
+                       finally_stmts=stmt.finalbody or None)
+        after = self._new()
+
+        entry = self._new()
+        self._seal_to(entry)
+        self.frames.append(frame)
+        self._stmts(stmt.body)
+        self._stmts(stmt.orelse)
+        # Normal completion: pop the frame, run finally once, fall through.
+        body_end = self.current
+        self.frames.pop()
+        if body_end is not None:
+            self.current = body_end
+            if stmt.finalbody:
+                fin = self._inline_finallys(
+                    [(stmt.finalbody, list(self.frames))], after)
+                self._edge(body_end, fin)
+            else:
+                self._edge(body_end, after)
+            self.current = None
+
+        # Handlers: exceptions land here; handler bodies run with the
+        # frame's finally still pending (but not its own handlers).
+        for handler, h_entry in zip(stmt.handlers, handler_entries):
+            self.current = h_entry
+            if handler.name is not None:
+                # `except E as name` binds name; model it as an assign.
+                bind = ast.Assign(
+                    targets=[ast.Name(id=handler.name, ctx=ast.Store())],
+                    value=ast.Name(id="<exception>", ctx=ast.Load()))
+                ast.copy_location(bind, handler)
+                ast.fix_missing_locations(bind)
+                h_entry.stmts.append(bind)
+            self.frames.append(_Frame(handler_entries=[],
+                                      finally_stmts=stmt.finalbody or None))
+            self._stmts(handler.body)
+            self.frames.pop()
+            if self.current is not None:
+                if stmt.finalbody:
+                    fin = self._inline_finallys(
+                        [(stmt.finalbody, list(self.frames))], after)
+                    self._edge(self.current, fin)
+                else:
+                    self._edge(self.current, after)
+            self.current = None
+
+        # Exception escaping the handlers (or raised with none matching):
+        # _exc_targets() built the finally-to-exit unwind when statements
+        # inside the body asked for it; nothing more to wire here.
+        self.current = after
+
+
+def shallow_calls(stmt: ast.stmt) -> Iterator[ast.Call]:
+    """Call expressions a block statement evaluates *itself*.
+
+    ``For``/``With`` heads carry their body in other blocks, so only the
+    iterable / context expressions count; nested ``def``/``lambda``
+    bodies never run at definition time and are skipped entirely.
+    """
+    roots: List[ast.AST]
+    if isinstance(stmt, ast.For):
+        roots = [stmt.iter]
+    elif isinstance(stmt, ast.With):
+        roots = [item.context_expr for item in stmt.items]
+    elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                           ast.ClassDef)):
+        roots = []
+    else:
+        roots = [stmt]
+    stack: List[ast.AST] = list(roots)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)) and node is not stmt:
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def may_raise_expr(expr: ast.expr) -> bool:
+    """Whether evaluating the expression may raise (same test as
+    :func:`may_raise`, for bare expressions)."""
+    for node in ast.walk(expr):
+        if isinstance(node, (ast.Call, ast.Yield, ast.YieldFrom, ast.Await)):
+            return True
+    return False
+
+
+def build_cfg(func: ast.AST) -> CFG:
+    """Build the CFG of one function (or lambda) body."""
+    b = _Builder(func)
+    if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        b._stmts(func.body)
+    elif isinstance(func, ast.Lambda):
+        b._simple(ast.Expr(value=func.body))
+    else:
+        raise TypeError(f"not a function node: {type(func).__name__}")
+    if b.current is not None:
+        b._edge(b.current, b.exit)
+        b.current = None
+    return CFG(func=func, entry=b.entry, exit=b.exit, blocks=b.blocks)

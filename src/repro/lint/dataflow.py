@@ -1,0 +1,314 @@
+"""Intraprocedural dataflow: a forward worklist engine, reaching
+definitions, and configurable taint lanes.
+
+The engine (:class:`ForwardAnalysis`) is deliberately small: analyses
+provide an initial state, a per-statement transfer function, an optional
+branch-refinement hook, and a join.  States must be immutable values
+with structural equality (frozensets, tuples) so the fixpoint test is
+just ``==``.
+
+Exception edges (:data:`~repro.lint.cfg.EXC`) propagate the *entry*
+state of the raising block — the aborted statement's effect may not have
+happened — optionally adjusted by :meth:`ForwardAnalysis.exception_state`
+(rules use this for atomic acquire/release semantics).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import (Callable, Dict, FrozenSet, Generic, Iterator, List,
+                    Optional, Set, Tuple, TypeVar)
+
+from repro.lint.cfg import CFG, EXC, FALSE, TRUE, Block
+
+S = TypeVar("S")
+
+
+class ForwardAnalysis(Generic[S]):
+    """Forward worklist dataflow over a :class:`~repro.lint.cfg.CFG`."""
+
+    def initial_state(self) -> S:
+        """State at the function entry."""
+        raise NotImplementedError
+
+    def transfer_stmt(self, state: S, stmt: ast.stmt) -> S:
+        """State after executing one statement."""
+        raise NotImplementedError
+
+    def transfer_test(self, state: S, test: Optional[ast.expr],
+                      branch: bool) -> Optional[S]:
+        """Refine ``state`` along a branch edge; ``None`` marks the edge
+        infeasible.  Default: no refinement."""
+        return state
+
+    def exception_state(self, entry_state: S, block: Block) -> Optional[S]:
+        """State carried along an ``exc`` edge out of ``block``;
+        ``None`` marks the exception edge infeasible."""
+        return entry_state
+
+    def join(self, a: S, b: S) -> S:
+        """Merge the states of two converging paths."""
+        raise NotImplementedError
+
+    # -- driver -------------------------------------------------------------
+    def run(self, cfg: CFG) -> Dict[Block, S]:
+        """Fixpoint; returns the state at each reachable block's entry."""
+        entry_states: Dict[Block, S] = {cfg.entry: self.initial_state()}
+        worklist: List[Block] = [cfg.entry]
+        while worklist:
+            block = worklist.pop()
+            state = entry_states[block]
+            out = state
+            for stmt in block.stmts:
+                out = self.transfer_stmt(out, stmt)
+            for edge in block.succs:
+                if edge.kind == EXC:
+                    nxt: Optional[S] = self.exception_state(state, block)
+                elif edge.kind in (TRUE, FALSE):
+                    nxt = self.transfer_test(out, block.test,
+                                             edge.kind == TRUE)
+                else:
+                    nxt = out
+                if nxt is None:
+                    continue
+                old = entry_states.get(edge.dst)
+                new = nxt if old is None else self.join(old, nxt)
+                if old is None or new != old:
+                    entry_states[edge.dst] = new
+                    worklist.append(edge.dst)
+        return entry_states
+
+    def states_at_stmts(self, cfg: CFG) -> Iterator[Tuple[ast.stmt, S]]:
+        """``(stmt, state-before-stmt)`` for every reachable statement."""
+        entry_states = self.run(cfg)
+        for block in cfg.reachable():
+            if block not in entry_states:
+                continue
+            state = entry_states[block]
+            for stmt in block.stmts:
+                yield stmt, state
+                state = self.transfer_stmt(state, stmt)
+
+
+# ---------------------------------------------------------------------------
+# Assignment-target extraction shared by the concrete analyses.
+
+def assigned_names(stmt: ast.stmt) -> List[str]:
+    """Local names the statement (re)binds, including loop targets,
+    ``with ... as``, ``except ... as`` and walrus expressions."""
+    names: List[str] = []
+
+    def targets_of(node: ast.expr) -> None:
+        if isinstance(node, ast.Name):
+            names.append(node.id)
+        elif isinstance(node, (ast.Tuple, ast.List)):
+            for elt in node.elts:
+                targets_of(elt)
+        elif isinstance(node, ast.Starred):
+            targets_of(node.value)
+
+    if isinstance(stmt, ast.Assign):
+        for tgt in stmt.targets:
+            targets_of(tgt)
+    elif isinstance(stmt, ast.AugAssign):
+        targets_of(stmt.target)
+    elif isinstance(stmt, ast.AnnAssign):
+        if stmt.value is not None:
+            targets_of(stmt.target)
+    elif isinstance(stmt, ast.For):
+        targets_of(stmt.target)
+    elif isinstance(stmt, ast.With):
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                targets_of(item.optional_vars)
+    elif isinstance(stmt, ast.ExceptHandler) and stmt.name:
+        names.append(stmt.name)
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.NamedExpr) and isinstance(node.target, ast.Name):
+            names.append(node.target.id)
+    return names
+
+
+# ---------------------------------------------------------------------------
+# Reaching definitions.
+
+#: A definition site: (variable, line number of the defining statement).
+DefSite = Tuple[str, int]
+ReachingState = FrozenSet[DefSite]
+
+
+class ReachingDefinitions(ForwardAnalysis[ReachingState]):
+    """Classic reaching definitions over local names."""
+
+    def __init__(self, params: Tuple[str, ...] = ()) -> None:
+        self.params = params
+
+    def initial_state(self) -> ReachingState:
+        """Parameters reach the entry with pseudo-line 0."""
+        return frozenset((p, 0) for p in self.params)
+
+    def transfer_stmt(self, state: ReachingState,
+                      stmt: ast.stmt) -> ReachingState:
+        """Kill all defs of reassigned names, gen this statement's."""
+        names = assigned_names(stmt)
+        if not names:
+            return state
+        killed = set(names)
+        kept = frozenset(d for d in state if d[0] not in killed)
+        return kept | frozenset((n, stmt.lineno) for n in names)
+
+    def join(self, a: ReachingState, b: ReachingState) -> ReachingState:
+        """May-analysis: a definition reaches if it does on any path."""
+        return a | b
+
+
+def reaching_definitions(cfg: CFG, params: Tuple[str, ...] = ()
+                         ) -> Dict[Block, Dict[str, FrozenSet[int]]]:
+    """Reaching definitions at each block entry, grouped by variable."""
+    analysis = ReachingDefinitions(params)
+    raw = analysis.run(cfg)
+    result: Dict[Block, Dict[str, FrozenSet[int]]] = {}
+    for block, state in raw.items():
+        grouped: Dict[str, Set[int]] = {}
+        for name, line in state:
+            grouped.setdefault(name, set()).add(line)
+        result[block] = {n: frozenset(lines) for n, lines in grouped.items()}
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Taint lanes.
+
+class TaintLane:
+    """One taint configuration: what introduces taint and what clears it.
+
+    ``source`` is a predicate over expressions ("is this expression a
+    taint source by itself?").  ``sanitizers`` are dotted call names
+    whose results are always clean.  When ``through_calls`` is true a
+    call is tainted whenever any argument is (taint launders through
+    helpers); otherwise only known sources and tainted names taint."""
+
+    def __init__(self, name: str,
+                 source: Callable[[ast.expr], bool],
+                 sanitizers: FrozenSet[str] = frozenset(),
+                 through_calls: bool = True) -> None:
+        self.name = name
+        self.source = source
+        self.sanitizers = sanitizers
+        self.through_calls = through_calls
+
+
+class PayloadSource:
+    """Taint source: any read of ``<x>.payload[...]``, ``<x>.payload``
+    or another configured remote-data attribute."""
+
+    def __init__(self, attrs: FrozenSet[str] = frozenset({"payload"})) -> None:
+        self.attrs = attrs
+
+    def __call__(self, expr: ast.expr) -> bool:
+        return isinstance(expr, ast.Attribute) and expr.attr in self.attrs
+
+
+TaintState = FrozenSet[str]
+
+
+class TaintAnalysis(ForwardAnalysis[TaintState]):
+    """Forward taint propagation over local names for one lane."""
+
+    def __init__(self, lane: TaintLane) -> None:
+        self.lane = lane
+
+    def initial_state(self) -> TaintState:
+        """No local is tainted at the function entry."""
+        return frozenset()
+
+    # -- expression judgment ------------------------------------------------
+    def expr_tainted(self, state: TaintState, expr: ast.expr) -> bool:
+        """Whether evaluating ``expr`` can produce a tainted value."""
+        if self.lane.source(expr):
+            return True
+        if isinstance(expr, ast.Name):
+            return expr.id in state
+        if isinstance(expr, ast.Lambda):
+            return False
+        if isinstance(expr, ast.Call):
+            dotted = _dotted(expr.func)
+            if dotted is not None and dotted in self.lane.sanitizers:
+                return False
+            parts: List[ast.expr] = list(expr.args)
+            parts.extend(kw.value for kw in expr.keywords)
+            if not self.lane.through_calls:
+                # Receiver taint still flows: x.method() taints if x does.
+                if isinstance(expr.func, ast.Attribute):
+                    parts.append(expr.func.value)
+            else:
+                parts.append(expr.func)
+            return any(self.expr_tainted(state, p) for p in parts)
+        return any(self.expr_tainted(state, child)
+                   for child in ast.iter_child_nodes(expr)
+                   if isinstance(child, ast.expr))
+
+    def transfer_stmt(self, state: TaintState, stmt: ast.stmt) -> TaintState:
+        """Propagate taint through assignments; clean rebinds kill."""
+        out = set(state)
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.NamedExpr) and isinstance(node.target,
+                                                              ast.Name):
+                if self.expr_tainted(frozenset(out), node.value):
+                    out.add(node.target.id)
+        if isinstance(stmt, ast.Assign):
+            tainted = self.expr_tainted(frozenset(out), stmt.value)
+            for name in _plain_targets(stmt.targets):
+                (out.add if tainted else out.discard)(name)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            tainted = self.expr_tainted(frozenset(out), stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                (out.add if tainted else out.discard)(stmt.target.id)
+        elif isinstance(stmt, ast.AugAssign):
+            if isinstance(stmt.target, ast.Name):
+                if self.expr_tainted(frozenset(out), stmt.value):
+                    out.add(stmt.target.id)
+        elif isinstance(stmt, ast.For):
+            tainted = self.expr_tainted(frozenset(out), stmt.iter)
+            for name in assigned_names(stmt):
+                (out.add if tainted else out.discard)(name)
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                if item.optional_vars is None:
+                    continue
+                tainted = self.expr_tainted(frozenset(out), item.context_expr)
+                if isinstance(item.optional_vars, ast.Name):
+                    name = item.optional_vars.id
+                    (out.add if tainted else out.discard)(name)
+        return frozenset(out)
+
+    def join(self, a: TaintState, b: TaintState) -> TaintState:
+        """May-analysis: tainted on any path means tainted."""
+        return a | b
+
+
+def _plain_targets(targets: List[ast.expr]) -> List[str]:
+    names: List[str] = []
+    for tgt in targets:
+        if isinstance(tgt, ast.Name):
+            names.append(tgt.id)
+        elif isinstance(tgt, (ast.Tuple, ast.List)):
+            for elt in tgt.elts:
+                if isinstance(elt, ast.Name):
+                    names.append(elt.id)
+                elif isinstance(elt, ast.Starred) and isinstance(elt.value,
+                                                                 ast.Name):
+                    names.append(elt.value.id)
+    return names
+
+
+def _dotted(expr: ast.expr) -> Optional[str]:
+    parts: List[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))

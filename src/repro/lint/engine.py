@@ -12,7 +12,8 @@ import ast
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import (Any, Dict, FrozenSet, Iterable, List, Optional,
+                    Sequence, Tuple, Union)
 
 from repro.lint.config import LintConfig, in_scope
 from repro.lint.rules import RULES, Rule, Violation
@@ -74,7 +75,7 @@ class ProjectContext:
     never imports the code under analysis.
     """
 
-    def __init__(self, config: LintConfig):
+    def __init__(self, config: LintConfig) -> None:
         self.config = config
         self._message_loaded = False
         self.message_module_rel: Optional[str] = None
@@ -143,7 +144,7 @@ class FileContext:
     """Everything a rule needs to inspect one parsed file."""
 
     def __init__(self, path: str, source: str, tree: ast.Module,
-                 config: LintConfig, project: ProjectContext):
+                 config: LintConfig, project: ProjectContext) -> None:
         #: Root-relative posix path (fixture snippets keep their given name).
         self.path = path
         self.source = source
@@ -168,7 +169,9 @@ class FileContext:
             self._parents = parents
         return self._parents
 
-    def enclosing_function(self, node: ast.AST):
+    def enclosing_function(
+            self, node: ast.AST,
+    ) -> Optional[Union[ast.FunctionDef, ast.AsyncFunctionDef]]:
         """Innermost FunctionDef/AsyncFunctionDef containing ``node``."""
         parents = self._parent_map()
         cur = parents.get(node)
@@ -269,25 +272,133 @@ def _check_file(ctx: FileContext, rules: Sequence[Rule],
                 result.violations.append(violation)
 
 
+def _check_project(contexts: Sequence[FileContext], rules: Sequence[Rule],
+                   cfg: LintConfig) -> List[Violation]:
+    """Run the project-wide rules over the whole parsed file set."""
+    if not rules or not contexts:
+        return []
+    from repro.lint.project import ProjectIndex
+    index = ProjectIndex(contexts)
+    suppressions = {ctx.path: Suppressions.scan(ctx.lines)
+                    for ctx in contexts}
+    found: List[Violation] = []
+    for r in rules:
+        scope = r.scope(cfg.options_for(r.code))
+        for violation in r.check_project(index, cfg):
+            if not in_scope(violation.path, scope):
+                continue
+            supp = suppressions.get(violation.path)
+            if supp is not None and supp.suppressed(violation):
+                continue
+            found.append(violation)
+    return found
+
+
+def _split_rules(rules: Sequence[Rule]) -> Tuple[List[Rule], List[Rule]]:
+    file_rules = [r for r in rules if not r.project_wide]
+    project_rules = [r for r in rules if r.project_wide]
+    return file_rules, project_rules
+
+
 def lint_paths(paths: Sequence[Path], config: Optional[LintConfig] = None,
-               select: Optional[Sequence[str]] = None) -> LintResult:
-    """Lint every ``.py`` file under the given paths."""
+               select: Optional[Sequence[str]] = None,
+               cache_path: Optional[Path] = None) -> LintResult:
+    """Lint every ``.py`` file under the given paths.
+
+    ``cache_path`` enables the content-hash incremental cache: unchanged
+    files reuse their per-file findings, and a fully-unchanged tree
+    returns the previous result without parsing anything.
+    """
+    from repro.lint.cache import LintCache, config_key, content_hash
+
     cfg = config or LintConfig()
     rules = _selected_rules(cfg, select)
-    project = ProjectContext(cfg)
+    file_rules, project_rules = _split_rules(rules)
     result = LintResult()
+
+    targets: List[Tuple[Path, str]] = []
     for path in _discover(paths):
         rel = cfg.rel_path(path)
-        if cfg.is_excluded(rel):
+        if not cfg.is_excluded(rel):
+            targets.append((path, rel))
+
+    cache: Optional[LintCache] = None
+    hashes: Dict[str, bytes] = {}
+    digests: Dict[str, str] = {}
+    if cache_path is not None:
+        key = config_key([r.code for r in rules], cfg.exclude,
+                         cfg.rule_options)
+        cache = LintCache(cache_path, key)
+        for path, rel in targets:
+            try:
+                data = path.read_bytes()
+            except OSError:
+                data = b""
+            hashes[rel] = data
+            digests[rel] = content_hash(data)
+        if cache.full_hit(digests):
+            for rel in sorted(digests):
+                err = cache.file_error(rel)
+                if err is not None:
+                    result.errors.append(err)
+                else:
+                    result.files_checked += 1
+                result.violations.extend(cache.file_violations(rel))
+            result.violations.extend(cache.cached_project_violations())
+            result.violations.sort(key=lambda v: (v.path, v.line, v.col,
+                                                  v.code))
+            return result
+
+    project = ProjectContext(cfg)
+    contexts: List[FileContext] = []
+    for path, rel in targets:
+        data = hashes.get(rel)
+        if data is None:
+            try:
+                data = path.read_bytes()
+            except OSError as exc:
+                result.errors.append(f"{rel}: {exc}")
+                continue
+        digest = digests.get(rel)
+        cached = (cache is not None and digest is not None
+                  and cache.file_hit(rel, digest))
+        if cached and not project_rules:
+            assert cache is not None
+            err = cache.file_error(rel)
+            if err is not None:
+                result.errors.append(err)
+            else:
+                result.files_checked += 1
+            result.violations.extend(cache.file_violations(rel))
             continue
         try:
-            source = path.read_text()
+            source = data.decode()
             tree = ast.parse(source, filename=str(path))
-        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
-            result.errors.append(f"{rel}: {exc}")
+        except (SyntaxError, UnicodeDecodeError, ValueError) as exc:
+            message = f"{rel}: {exc}"
+            result.errors.append(message)
+            if cache is not None and digest is not None:
+                cache.store_file(rel, digest, [], error=message)
             continue
         result.files_checked += 1
-        _check_file(FileContext(rel, source, tree, cfg, project), rules, result)
+        ctx = FileContext(rel, source, tree, cfg, project)
+        contexts.append(ctx)
+        if cached:
+            assert cache is not None
+            result.violations.extend(cache.file_violations(rel))
+            continue
+        file_result = LintResult()
+        _check_file(ctx, file_rules, file_result)
+        result.violations.extend(file_result.violations)
+        if cache is not None and digest is not None:
+            cache.store_file(rel, digest, file_result.violations)
+
+    project_violations = _check_project(contexts, project_rules, cfg)
+    result.violations.extend(project_violations)
+    if cache is not None:
+        cache.store_project(project_violations)
+        cache.prune(digests)
+        cache.save()
     result.violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
     return result
 
@@ -299,10 +410,12 @@ def lint_source(source: str, path: str = "<snippet>",
 
     ``path`` participates in rule scoping exactly as an on-disk path
     would, so fixtures can opt in to path-scoped rules by choosing a
-    matching pretend location.
+    matching pretend location.  Project-wide rules see a one-file
+    project containing just the snippet.
     """
     cfg = config or LintConfig()
     rules = _selected_rules(cfg, select)
+    file_rules, project_rules = _split_rules(rules)
     result = LintResult()
     try:
         tree = ast.parse(source, filename=path)
@@ -311,6 +424,7 @@ def lint_source(source: str, path: str = "<snippet>",
         return result
     result.files_checked = 1
     ctx = FileContext(path, source, tree, cfg, ProjectContext(cfg))
-    _check_file(ctx, rules, result)
+    _check_file(ctx, file_rules, result)
+    result.violations.extend(_check_project([ctx], project_rules, cfg))
     result.violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
     return result

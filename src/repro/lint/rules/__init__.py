@@ -21,7 +21,9 @@ from typing import (TYPE_CHECKING, Any, Dict, Iterator, List, Optional,
                     Sequence, Type)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lint.config import LintConfig
     from repro.lint.engine import FileContext
+    from repro.lint.project import ProjectIndex
 
 
 @dataclass(frozen=True)
@@ -57,6 +59,9 @@ class Rule:
     paper_ref: str = ""
     #: Default path prefixes the rule applies to (``None`` = everywhere).
     default_scope: Optional[Sequence[str]] = None
+    #: Project-wide rules run once over the whole parsed file set
+    #: (via :meth:`check_project`) instead of per file.
+    project_wide: bool = False
 
     def scope(self, options: Dict[str, Any]) -> Optional[Sequence[str]]:
         """Effective path scope after applying config overrides."""
@@ -67,6 +72,13 @@ class Rule:
 
     def check(self, ctx: "FileContext") -> Iterator[Violation]:
         """Yield violations for one parsed file."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def check_project(self, index: "ProjectIndex",
+                      config: "LintConfig") -> Iterator[Violation]:
+        """Yield violations for the whole indexed file set (only called
+        when :attr:`project_wide` is true)."""
         raise NotImplementedError
         yield  # pragma: no cover
 
@@ -93,6 +105,16 @@ class Rule:
         return fn.name if fn is not None else None
 
 
+class ProjectRule(Rule):
+    """Base class for rules that analyze the whole project at once."""
+
+    project_wide = True
+
+    def check(self, ctx: "FileContext") -> Iterator[Violation]:
+        """Project rules have no per-file phase."""
+        return iter(())
+
+
 #: The global registry, keyed by rule code.
 RULES: Dict[str, Rule] = {}
 
@@ -109,9 +131,10 @@ def rule(cls: Type[Rule]) -> Type[Rule]:
 
 def _load_builtin_rules() -> None:
     # Imported for their registration side effect.
-    from repro.lint.rules import (determinism, handlers, local_clock,  # noqa: F401
-                                  mutable_defaults, passive_server, phases,
-                                  time_equality)
+    from repro.lint.rules import (barrier, determinism, handlers,  # noqa: F401
+                                  local_clock, mutable_defaults, pairing,
+                                  passive_reach, passive_server, phases,
+                                  remote_taint, schema_drift, time_equality)
 
 
 _load_builtin_rules()

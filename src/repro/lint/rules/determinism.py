@@ -15,7 +15,12 @@ from __future__ import annotations
 import ast
 from typing import Dict, Iterator, List, Set
 
+from typing import TYPE_CHECKING
+
 from repro.lint.rules import Rule, Violation, rule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lint.engine import FileContext
 
 #: Functions whose call means "read the wall clock".
 _WALL_CLOCK = {
@@ -45,7 +50,7 @@ class DeterminismRule(Rule):
     paper_ref = "reproducible runs underpin every experimental claim (§5-§6)"
     default_scope = ["src/repro"]
 
-    def check(self, ctx) -> Iterator[Violation]:
+    def check(self, ctx: "FileContext") -> Iterator[Violation]:
         """Yield a violation per wall-clock / ambient-random call site."""
         opts = ctx.options(self.code)
         allow: List[str] = list(opts.get(

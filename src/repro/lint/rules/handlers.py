@@ -22,9 +22,12 @@ from __future__ import annotations
 
 import ast
 import re
-from typing import Dict, Iterator, List, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Set, Tuple
 
 from repro.lint.rules import Rule, Violation, rule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lint.engine import FileContext
 
 _HANDLES_RE = re.compile(r"#\s*repro-lint:\s*handles\[([A-Za-z0-9_\-,\s]*)\]")
 _REGISTER_METHODS = {"register", "_register"}
@@ -44,7 +47,7 @@ class HandlerExhaustivenessRule(Rule):
                  "dispatch")
     default_scope = None
 
-    def check(self, ctx) -> Iterator[Violation]:
+    def check(self, ctx: "FileContext") -> Iterator[Violation]:
         """Yield partition and coverage violations for this file."""
         kinds, groups = ctx.project.message_vocabulary()
         if not kinds:
@@ -80,7 +83,7 @@ class HandlerExhaustivenessRule(Rule):
 
     # -- pieces -----------------------------------------------------------
     @staticmethod
-    def _check_partition(ctx, kinds: Dict[str, str],
+    def _check_partition(ctx: "FileContext", kinds: Dict[str, str],
                          groups: Dict[str, List[str]]) -> Iterator[Violation]:
         seen: Dict[str, List[str]] = {}
         for group, members in groups.items():
@@ -109,7 +112,7 @@ class HandlerExhaustivenessRule(Rule):
                     ctx.path, 1)
 
     @staticmethod
-    def _declarations(ctx) -> List[Tuple[int, List[str]]]:
+    def _declarations(ctx: "FileContext") -> List[Tuple[int, List[str]]]:
         out: List[Tuple[int, List[str]]] = []
         for lineno, text in enumerate(ctx.lines, start=1):
             m = _HANDLES_RE.search(text)
@@ -119,7 +122,7 @@ class HandlerExhaustivenessRule(Rule):
         return out
 
     @staticmethod
-    def _registered_kinds(ctx) -> Set[str]:
+    def _registered_kinds(ctx: "FileContext") -> Set[str]:
         found: Set[str] = set()
         for node in ast.walk(ctx.tree):
             if not (isinstance(node, ast.Call)

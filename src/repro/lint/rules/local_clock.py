@@ -22,7 +22,12 @@ from __future__ import annotations
 import ast
 from typing import Iterator, List, Optional, Set
 
+from typing import TYPE_CHECKING
+
 from repro.lint.rules import Rule, Violation, rule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lint.engine import FileContext
 
 _CLOCK_READS = {"local_now", "local_timeout"}
 _DEFAULT_FOREIGN = ["peer", "peers", "other", "others", "remote",
@@ -46,7 +51,7 @@ class LocalClockRule(Rule):
     paper_ref = "rate-synchronization-only ordering argument (Thm 3.1)"
     default_scope = _PROTOCOL_SCOPE
 
-    def check(self, ctx) -> Iterator[Violation]:
+    def check(self, ctx: "FileContext") -> Iterator[Violation]:
         """Yield a violation per cross-node clock read."""
         opts = ctx.options(self.code)
         foreign: Set[str] = set(opts.get("foreign-node-attrs", _DEFAULT_FOREIGN))

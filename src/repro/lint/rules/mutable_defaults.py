@@ -13,7 +13,12 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
+from typing import TYPE_CHECKING
+
 from repro.lint.rules import Rule, Violation, rule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lint.engine import FileContext
 
 _MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "defaultdict",
                   "OrderedDict", "Counter", "deque"}
@@ -42,7 +47,7 @@ class MutableDefaultRule(Rule):
                  "run-to-run reproducibility")
     default_scope = None
 
-    def check(self, ctx) -> Iterator[Violation]:
+    def check(self, ctx: "FileContext") -> Iterator[Violation]:
         """Yield a violation per mutable default argument."""
         for node in ast.walk(ctx.tree):
             if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):

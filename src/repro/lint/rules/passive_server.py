@@ -21,7 +21,12 @@ import ast
 import re
 from typing import Iterator, Optional, Set
 
+from typing import TYPE_CHECKING
+
 from repro.lint.rules import Rule, Violation, rule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lint.engine import FileContext
 
 _LEASE_LABEL = re.compile(r"lease|keepalive|heartbeat|renew|timer", re.IGNORECASE)
 _LEASE_KINDS = {"KEEPALIVE", "LEASE_RENEW", "HEARTBEAT"}
@@ -40,7 +45,7 @@ class PassiveServerRule(Rule):
     paper_ref = "passive server, zero lease state in normal operation (§3)"
     default_scope = ["src/repro/server", "src/repro/lease/server_lease.py"]
 
-    def check(self, ctx) -> Iterator[Violation]:
+    def check(self, ctx: "FileContext") -> Iterator[Violation]:
         """Yield violations for lease timers/messages off the error path."""
         opts = ctx.options(self.code)
         allowed: Set[str] = set(opts.get("allowed-functions", _DEFAULT_ALLOWED))

@@ -15,7 +15,12 @@ from __future__ import annotations
 import ast
 from typing import Iterator, Sequence, Set
 
+from typing import TYPE_CHECKING
+
 from repro.lint.rules import Rule, Violation, rule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lint.engine import FileContext
 
 _PHASE_ATTRS = {"phase", "lease_phase"}
 _DEFAULT_TABLE_MODULES = ["src/repro/lease/phases.py"]
@@ -33,7 +38,7 @@ class PhaseDisciplineRule(Rule):
     paper_ref = "the four-phase client lease interval (Fig. 4, §3.2)"
     default_scope = None  # everywhere the engine looks
 
-    def check(self, ctx) -> Iterator[Violation]:
+    def check(self, ctx: "FileContext") -> Iterator[Violation]:
         """Yield violations for phase assignments outside the table."""
         opts = ctx.options(self.code)
         table_modules: Sequence[str] = opts.get(

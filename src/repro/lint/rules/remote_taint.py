@@ -1,0 +1,121 @@
+"""RPL008: values derived from message payloads must not reach timer or
+deadline arithmetic (flow-sensitive successor to RPL003).
+
+Theorem 3.1's safety argument needs every client- and server-side
+deadline computed from *local* clock readings and contract constants
+(SS3).  RPL003 checks the allowlist of clock calls syntactically; this
+rule closes the laundering gap T-Lease's clock-attack model describes —
+a remote timestamp copied through an assignment (or a helper call) into
+a timeout.  It builds the CFG of every function in scope, runs a taint
+lane whose sources are ``<x>.payload`` reads (plus configured remote
+attributes), propagates through assignments, arithmetic and calls, and
+flags any tainted argument of a timer-constructor call
+(``local_timeout``, ``timeout``, ``after``, ``at``, ``renew``, ...).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import (TYPE_CHECKING, FrozenSet, Iterator, List, Optional, Set,
+                    Tuple)
+
+from repro.lint.cfg import build_cfg, shallow_calls
+from repro.lint.dataflow import PayloadSource, TaintAnalysis, TaintLane
+from repro.lint.rules import Rule, Violation, rule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lint.engine import FileContext
+
+#: Call names (last attribute segment) that arm timers or compute
+#: lease deadlines; any tainted argument is a violation.
+_DEFAULT_SINKS = (
+    "local_timeout",   # endpoint-local timer
+    "timeout",         # raw simulator timer
+    "after", "at",     # TimerPool arming
+    "renew",           # lease renewal instants
+    "server_wait_local", "client_expiry_local", "phase_start_local",
+)
+
+#: Attributes whose reads introduce remote-derived taint.
+_DEFAULT_SOURCE_ATTRS = ("payload",)
+
+_PROTOCOL_SCOPE = [
+    "src/repro/client",
+    "src/repro/server",
+    "src/repro/lease",
+    "src/repro/locks",
+    "src/repro/net",
+    "src/repro/netcache",
+    "src/repro/cluster",
+    "src/repro/storage",
+]
+
+
+def _last_attr(func: ast.expr) -> Optional[str]:
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+@rule
+class RemoteTaintRule(Rule):
+    """Flag remote payload values flowing into local deadline math."""
+
+    code = "RPL008"
+    name = "remote-clock-taint"
+    description = ("payload-derived values must not flow into timer or "
+                   "lease-deadline arguments (local-clock discipline, "
+                   "flow-sensitive)")
+    paper_ref = ("SS3: expiration decided by local clocks and contract "
+                 "constants only; remote timestamps are untrusted")
+    default_scope = _PROTOCOL_SCOPE
+
+    def check(self, ctx: "FileContext") -> Iterator[Violation]:
+        """Run the payload taint lane over every function."""
+        opts = ctx.options(self.code)
+        sinks = frozenset(opts.get("sink-calls", _DEFAULT_SINKS))
+        source_attrs = frozenset(opts.get("source-attrs",
+                                          _DEFAULT_SOURCE_ATTRS))
+        sanitizers = frozenset(opts.get("sanitizers", ()))
+        lane = TaintLane(name="remote", source=PayloadSource(source_attrs),
+                         sanitizers=sanitizers)
+        for fn in _functions(ctx.tree):
+            yield from self._check_function(ctx, fn, lane, sinks)
+
+    def _check_function(self, ctx: "FileContext", fn: ast.AST,
+                        lane: TaintLane, sinks: FrozenSet[str]
+                        ) -> Iterator[Violation]:
+        cfg = build_cfg(fn)
+        analysis = TaintAnalysis(lane)
+        reported: Set[Tuple[int, int]] = set()
+        for stmt, state in analysis.states_at_stmts(cfg):
+            for call in shallow_calls(stmt):
+                name = _last_attr(call.func)
+                if name is None or name not in sinks:
+                    continue
+                args: List[ast.expr] = list(call.args)
+                args.extend(kw.value for kw in call.keywords)
+                for arg in args:
+                    if analysis.expr_tainted(state, arg):
+                        key = (call.lineno, call.col_offset)
+                        if key in reported:
+                            continue
+                        reported.add(key)
+                        yield Violation(
+                            code=self.code,
+                            message=(f"argument of timer/deadline call "
+                                     f"'{name}(...)' is derived from a "
+                                     f"message payload; deadlines must use "
+                                     f"local clocks and contract constants "
+                                     f"only"),
+                            path=ctx.path, line=call.lineno,
+                            col=call.col_offset)
+                        break
+
+
+def _functions(tree: ast.Module) -> Iterator[ast.AST]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node

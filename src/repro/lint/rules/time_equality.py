@@ -17,7 +17,12 @@ import ast
 import re
 from typing import Iterator, Optional
 
+from typing import TYPE_CHECKING
+
 from repro.lint.rules import Rule, Violation, rule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lint.engine import FileContext
 
 #: Identifier (name or attribute) shapes that denote a time value.
 _TIME_IDENT = re.compile(
@@ -60,7 +65,7 @@ class TimeEqualityRule(Rule):
                  "(Fig. 3); exact float equality is never protocol-meaningful")
     default_scope = ["src/repro"]
 
-    def check(self, ctx) -> Iterator[Violation]:
+    def check(self, ctx: "FileContext") -> Iterator[Violation]:
         """Yield a violation per exact-equality comparison on times."""
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Compare):

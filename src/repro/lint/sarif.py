@@ -1,0 +1,84 @@
+"""SARIF 2.1.0 reporter.
+
+Emits the Static Analysis Results Interchange Format so CI systems and
+code-review UIs can ingest lint findings natively.  The document shape
+follows the OASIS SARIF 2.1.0 schema: one ``run`` whose ``tool.driver``
+lists every registered rule (stable ``ruleIndex`` ordering) and whose
+``results`` reference rules by id and index.  Paths are emitted as
+root-relative URIs; engine errors (unparseable files) become
+``toolExecutionNotifications`` so they are not silently dropped.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.lint.engine import LintResult
+from repro.lint.rules import RULES, Violation
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+TOOL_NAME = "repro-lint"
+TOOL_URI = "https://github.com/repro/repro"
+
+
+def _rule_descriptor(code: str) -> Dict[str, Any]:
+    r = RULES[code]
+    return {
+        "id": code,
+        "name": r.name,
+        "shortDescription": {"text": r.description},
+        "fullDescription": {"text": f"{r.description} (guards: {r.paper_ref})"},
+        "defaultConfiguration": {"level": "error"},
+    }
+
+
+def _result(v: Violation, rule_index: Dict[str, int]) -> Dict[str, Any]:
+    res: Dict[str, Any] = {
+        "ruleId": v.code,
+        "level": "error",
+        "message": {"text": v.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": v.path},
+                "region": {"startLine": v.line, "startColumn": v.col + 1},
+            },
+        }],
+    }
+    if v.code in rule_index:
+        res["ruleIndex"] = rule_index[v.code]
+    return res
+
+
+def render_sarif(result: LintResult) -> str:
+    """The full SARIF 2.1.0 document for one lint run."""
+    codes = sorted(RULES)
+    rule_index = {code: i for i, code in enumerate(codes)}
+    notifications: List[Dict[str, Any]] = [
+        {"level": "error", "message": {"text": err}}
+        for err in result.errors
+    ]
+    run: Dict[str, Any] = {
+        "tool": {
+            "driver": {
+                "name": TOOL_NAME,
+                "informationUri": TOOL_URI,
+                "rules": [_rule_descriptor(c) for c in codes],
+            },
+        },
+        "columnKind": "unicodeCodePoints",
+        "results": [_result(v, rule_index) for v in result.violations],
+    }
+    if notifications:
+        run["invocations"] = [{
+            "executionSuccessful": False,
+            "toolExecutionNotifications": notifications,
+        }]
+    doc: Dict[str, Any] = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [run],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)

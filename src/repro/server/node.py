@@ -106,6 +106,7 @@ class StorageTankServer:
         self.cluster = None
         self.transactions = 0
         self.data_bytes_served = 0   # file data moved through this server (E1)
+        self.closes_by_file: Dict[int, int] = {}  # per-file close census
         self._fenced: Set[str] = set()
         self._active_demands: Set[Tuple[str, int, LockMode]] = set()
 
@@ -505,7 +506,11 @@ class StorageTankServer:
         return run()
 
     def _h_close(self, msg: Message):
-        # Locks are cached past close (§3.1); closing is bookkeeping only.
+        # Locks are cached past close (§3.1); closing is bookkeeping only:
+        # record the per-file close census the client reports so session
+        # accounting can see open/close churn per file.
+        fid = int(msg.payload["file_id"])
+        self.closes_by_file[fid] = self.closes_by_file.get(fid, 0) + 1
         return ("ack", {})
 
     def _h_getattr(self, msg: Message):
@@ -513,9 +518,11 @@ class StorageTankServer:
             if "path" in msg.payload:
                 path = msg.payload["path"]
                 ino = self._meta_for_path(path).lookup(path)
-            else:
+            elif "file_id" in msg.payload:
                 fid = int(msg.payload["file_id"])
                 ino = self._meta_for_file(fid).inode(fid)
+            else:
+                return ("nack", {"error": "getattr: no path or file_id"})
         except (NamespaceError, KeyError) as exc:
             return ("nack", {"error": str(exc)})
         return ("ack", {"file_id": ino.file_id, "attrs": ino.attrs.to_payload()})
@@ -673,6 +680,9 @@ class StorageTankServer:
         file_id = int(msg.payload["file_id"])
         block = int(msg.payload["block"])
         tag = msg.payload["tag"]
+        # The client reports how much data rode the control network;
+        # account for what actually arrived rather than assuming a block.
+        data_bytes = int(msg.payload["data_bytes"])
 
         def run() -> Generator[Event, Any, Tuple[str, Dict[str, Any]]]:
             try:
@@ -681,8 +691,7 @@ class StorageTankServer:
             except (NamespaceError, IndexError) as exc:
                 return ("nack", {"error": str(exc)})
             versions = yield from self.san.write(self.name, device, {lba: tag})
-            from repro.storage.blockmap import BLOCK_SIZE
-            self.data_bytes_served += BLOCK_SIZE
+            self.data_bytes_served += data_bytes
             return ("ack", {"version": versions.get(lba, -1)})
         return run()
 

@@ -106,7 +106,7 @@ class TraceProfile:
 class TraceSynthesizer:
     """Deterministic trace generation from a seed and a profile."""
 
-    def __init__(self, profile: Optional[TraceProfile] = None, seed: int = 0):
+    def __init__(self, profile: Optional[TraceProfile] = None, seed: int = 0) -> None:
         self.profile = profile or TraceProfile()
         self.seed = seed
         self._rng = np.random.default_rng(seed)
@@ -149,7 +149,8 @@ class TraceSynthesizer:
         return WorkloadTrace(files=files, sessions=sessions, seed=self.seed)
 
     @staticmethod
-    def _make_ops(rng, n_ops: int, size_blocks: int, writing: bool,
+    def _make_ops(rng: np.random.Generator, n_ops: int, size_blocks: int,
+                  writing: bool,
                   sequential: bool, p: TraceProfile) -> List[TraceOp]:
         ops: List[TraceOp] = []
         cursor = 0
@@ -170,7 +171,7 @@ class TraceSynthesizer:
 class TraceReplayer:
     """Replays a :class:`WorkloadTrace` against a built system."""
 
-    def __init__(self, system: StorageTankSystem, trace: WorkloadTrace):
+    def __init__(self, system: StorageTankSystem, trace: WorkloadTrace) -> None:
         self.system = system
         self.trace = trace
         self.stats: Dict[str, WorkloadStats] = {

@@ -15,7 +15,7 @@ class ZipfSampler:
     of file system traces.
     """
 
-    def __init__(self, n: int, s: float, rng: np.random.Generator):
+    def __init__(self, n: int, s: float, rng: np.random.Generator) -> None:
         if n <= 0:
             raise ValueError(f"n must be positive, got {n}")
         if s < 0:

@@ -1,0 +1,32 @@
+"""Fixture: handlers defer long work properly (RPL009 silent)."""
+
+
+class Server:
+    def __init__(self, endpoint, sim):
+        self.endpoint = endpoint
+        self.sim = sim
+
+    def install(self):
+        self.endpoint.register(MsgKind.OPEN, self._h_open)
+        self.endpoint.register(MsgKind.READ, self._h_read)
+        self.endpoint.register(MsgKind.CLOSE, self._h_close)
+
+    def _h_open(self, msg):
+        # Deferral by returning the generator to the dispatch loop.
+        return self._work(msg)
+
+    def _h_read(self, msg):
+        # Deferral by spawning a simulated process.
+        self.sim.process(self._work(msg))
+        return ("ack", {})
+
+    def _h_close(self, msg):
+        # Plain synchronous bookkeeping is fine.
+        self._count(msg)
+        return ("ack", {})
+
+    def _work(self, msg):
+        yield self.sim.timeout(1.0)
+
+    def _count(self, msg):
+        self.closed = getattr(self, "closed", 0) + 1

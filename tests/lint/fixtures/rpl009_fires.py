@@ -1,0 +1,32 @@
+"""Fixture: handlers that reach a blocking wait (RPL009 fires)."""
+
+import time
+
+
+class Server:
+    def __init__(self, endpoint, sim):
+        self.endpoint = endpoint
+        self.sim = sim
+
+    def install(self):
+        self.endpoint.register(MsgKind.OPEN, self._h_open)
+        self.endpoint.register(MsgKind.READ, self._h_read)
+
+    def _h_open(self, msg):
+        # Blocking primitive two helpers deep.
+        self._slow_path()
+        return ("ack", {})
+
+    def _slow_path(self):
+        self._really_slow()
+
+    def _really_slow(self):
+        time.sleep(0.01)
+
+    def _h_read(self, msg):
+        # Running a generator protocol step synchronously.
+        self._drain(msg)
+        return ("ack", {})
+
+    def _drain(self, msg):
+        yield self.sim.timeout(1.0)

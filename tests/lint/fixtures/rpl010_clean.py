@@ -1,0 +1,22 @@
+"""Fixture: sender and handler schemas agree (RPL010 silent)."""
+
+
+class Node:
+    def __init__(self, endpoint, server):
+        self.endpoint = endpoint
+        self.server = server
+        self.seq = 0
+
+    def install(self):
+        self.endpoint.register(MsgKind.PING, self._h_ping)
+
+    def send_ping(self):
+        self.endpoint.request(self.server, MsgKind.PING, {"seq": self.seq})
+
+    def _h_ping(self, msg):
+        seq = msg.payload["seq"]
+        tag = msg.payload.get("debug_tag")  # optional read: never a finding
+        if "origin" in msg.payload:
+            origin = msg.payload["origin"]  # probed before the hard read
+            return ("ack", {"seq": seq, "tag": tag, "origin": origin})
+        return ("ack", {"seq": seq, "tag": tag})

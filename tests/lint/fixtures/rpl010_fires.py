@@ -1,0 +1,22 @@
+"""Fixture: schema drift between sender and handler (RPL010 fires)."""
+
+
+class Node:
+    def __init__(self, endpoint, server):
+        self.endpoint = endpoint
+        self.server = server
+        self.seq = 0
+
+    def install(self):
+        self.endpoint.register(MsgKind.PING, self._h_ping)
+
+    def send_ping(self):
+        self.endpoint.request(self.server, MsgKind.PING, {
+            "seq": self.seq,
+            "debug_tag": "trace-me",  # dead write: no handler reads it
+        })
+
+    def _h_ping(self, msg):
+        seq = msg.payload["seq"]
+        origin = msg.payload["origin"]  # never-set read
+        return ("ack", {"seq": seq, "origin": origin})

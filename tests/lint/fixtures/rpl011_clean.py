@@ -1,0 +1,22 @@
+"""Fixture: every mutation sits behind the barrier (RPL011 silent)."""
+
+
+class Server:
+    def __init__(self, meta):
+        self.meta = meta
+        self._cache_nodes = []
+
+    def _h_create(self, msg):
+        # Guard idiom: no cache nodes means nothing to invalidate.
+        if self._cache_nodes:
+            self._invalidate_caches(msg.payload["path"])
+        self.meta.create_file(msg.payload["path"])
+        return ("ack", {})
+
+    def _h_unlink(self, msg):
+        # Claim-token idiom: a falsy token means no cache tier.
+        tok = self._claim_barrier()
+        if tok:
+            self._invalidate_caches(msg.payload["path"])
+        self.meta.unlink(msg.payload["path"])
+        return ("ack", {})

@@ -1,0 +1,16 @@
+"""Fixture: mutation skips the cache barrier on one path (RPL011 fires)."""
+
+
+class Server:
+    def __init__(self, meta):
+        self.meta = meta
+        self._cache_nodes = []
+
+    def _h_create(self, msg):
+        if msg.payload["fast"]:
+            # Fast path forgets to invalidate before applying.
+            self.meta.create_file(msg.payload["path"])
+            return ("ack", {})
+        self._invalidate_caches(msg.payload["path"])
+        self.meta.create_file(msg.payload["path"])
+        return ("ack", {})

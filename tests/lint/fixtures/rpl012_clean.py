@@ -1,0 +1,25 @@
+"""Fixture: brackets close on every path (RPL012 silent)."""
+
+
+class Client:
+    def __init__(self, leases):
+        self.leases = leases
+
+    def read(self, fid):
+        self._enter()
+        try:
+            if fid not in self.leases:
+                return None
+            return self._fetch(fid)
+        finally:
+            self._exit()
+
+    def pin_and_flush(self, fid):
+        # Token-truthiness idiom: the false arm of `if pinned` is
+        # infeasible while the pin is held.
+        pinned = self._pin_file(fid)
+        try:
+            self._flush(fid)
+        finally:
+            if pinned:
+                self._unpin_file(fid)

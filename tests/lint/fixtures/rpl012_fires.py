@@ -1,0 +1,14 @@
+"""Fixture: acquire leaks on an early return (RPL012 fires)."""
+
+
+class Client:
+    def __init__(self, leases):
+        self.leases = leases
+
+    def read(self, fid):
+        self._enter()
+        if fid not in self.leases:
+            return None  # leaks the in-flight op bracket
+        data = self._fetch(fid)
+        self._exit()
+        return data

@@ -1,0 +1,239 @@
+"""CFG builder unit tests: shapes, edge kinds and unwinding paths.
+
+The interesting properties are path properties — "every path from the
+entry to the exit passes through the release call", "the exception
+edge out of the inner try runs the inner finally before the outer
+handler".  The helpers below phrase those as reachability-with-
+avoidance queries over the built graph.
+"""
+
+import ast
+import textwrap
+
+from repro.lint.cfg import EXC, FALSE, TRUE, build_cfg
+
+
+def _cfg(src):
+    tree = ast.parse(textwrap.dedent(src))
+    return build_cfg(tree.body[0])
+
+
+def _line_of_call(cfg, name):
+    """Line of the (single) call to ``name`` in the function source."""
+    lines = set()
+    for node in ast.walk(cfg.func):
+        if isinstance(node, ast.Call):
+            func = node.func
+            attr = func.attr if isinstance(func, ast.Attribute) else \
+                func.id if isinstance(func, ast.Name) else None
+            if attr == name:
+                lines.add(node.lineno)
+    assert len(lines) == 1, f"expected one call to {name}, got {lines}"
+    return lines.pop()
+
+
+def _blocks_with_line(cfg, lineno):
+    return {b.id for b in cfg.blocks
+            if any(s.lineno == lineno for s in b.stmts)}
+
+
+def _reaches(cfg, dst_ids, avoid_ids=frozenset()):
+    """Can the entry reach any of ``dst_ids`` without entering
+    ``avoid_ids``?"""
+    blocks = {b.id: b for b in cfg.blocks}
+    seen = set()
+    queue = [cfg.entry.id]
+    while queue:
+        bid = queue.pop()
+        if bid in seen or bid in avoid_ids:
+            continue
+        seen.add(bid)
+        if bid in dst_ids:
+            return True
+        queue.extend(e.dst.id for e in blocks[bid].succs)
+    return False
+
+
+def _always_passes(cfg, lineno):
+    """True when every entry->exit path contains ``lineno``."""
+    return not _reaches(cfg, {cfg.exit.id}, _blocks_with_line(cfg, lineno))
+
+
+def _reaches_from(cfg, src_ids, dst_ids, avoid_ids=frozenset()):
+    """Can any of ``src_ids`` reach ``dst_ids`` avoiding ``avoid_ids``?
+    The source blocks themselves are exempt from the avoid set; their
+    successors are not."""
+    blocks = {b.id: b for b in cfg.blocks}
+    seen = set()
+    queue = [e.dst.id for sid in src_ids for e in blocks[sid].succs]
+    while queue:
+        bid = queue.pop()
+        if bid in seen or bid in avoid_ids:
+            continue
+        seen.add(bid)
+        if bid in dst_ids:
+            return True
+        queue.extend(e.dst.id for e in blocks[bid].succs)
+    return False
+
+
+# -- basic shapes -----------------------------------------------------------
+
+def test_straight_line_reaches_exit():
+    cfg = _cfg("""
+        def f(x):
+            a = x + 1
+            b = a * 2
+            return b
+    """)
+    assert _reaches(cfg, {cfg.exit.id})
+    stmts = [s for b in cfg.reachable() for s in b.stmts]
+    assert len(stmts) == 3
+
+
+def test_if_else_has_true_and_false_edges():
+    cfg = _cfg("""
+        def f(x):
+            if x:
+                y = 1
+            else:
+                y = 2
+            return y
+    """)
+    branch = [b for b in cfg.blocks if b.test is not None]
+    assert len(branch) == 1
+    kinds = sorted(e.kind for e in branch[0].succs)
+    assert kinds == [FALSE, TRUE]
+
+
+def test_while_loop_has_back_edge():
+    cfg = _cfg("""
+        def f(n):
+            while n:
+                n = n - 1
+            return n
+    """)
+    header = [b for b in cfg.blocks if b.test is not None][0]
+    # Entered once from above and once from the loop body.
+    assert len(header.preds) >= 2
+
+
+def test_early_return_goes_straight_to_exit():
+    cfg = _cfg("""
+        def f(x):
+            if x:
+                return 1
+            work()
+            return 2
+    """)
+    ret_blocks = [b for b in cfg.blocks
+                  if any(isinstance(s, ast.Return) for s in b.stmts)]
+    assert ret_blocks
+    for blk in ret_blocks:
+        assert any(e.dst is cfg.exit for e in blk.succs)
+
+
+def test_break_and_continue_edges():
+    cfg = _cfg("""
+        def f(xs):
+            for x in xs:
+                if x:
+                    break
+                continue
+            return 0
+    """)
+    # break/continue leave no fallthrough; the graph still reaches exit.
+    assert _reaches(cfg, {cfg.exit.id})
+
+
+# -- exceptions -------------------------------------------------------------
+
+def test_may_raise_stmt_gets_exc_edge_into_handler():
+    cfg = _cfg("""
+        def f(x):
+            try:
+                risky(x)
+            except ValueError:
+                recover()
+            return 1
+    """)
+    risky = _blocks_with_line(cfg, _line_of_call(cfg, "risky"))
+    handler = _blocks_with_line(cfg, _line_of_call(cfg, "recover"))
+    # The raise site has an EXC successor that leads to the handler
+    # body (possibly through an empty handler-entry block).
+    exc_dsts = {e.dst.id for b in cfg.blocks if b.id in risky
+                for e in b.succs if e.kind == EXC}
+    assert exc_dsts
+    assert _reaches_from(cfg, risky, handler)
+
+
+def test_finally_runs_on_every_return_path():
+    cfg = _cfg("""
+        def f(x):
+            try:
+                if x:
+                    return 1
+                work(x)
+            finally:
+                release(x)
+            return 2
+    """)
+    assert _always_passes(cfg, _line_of_call(cfg, "release"))
+
+
+def test_raise_inside_finally_still_runs_outer_finally():
+    # A raise escaping an inner finally copy must unwind through the
+    # *outer* finally, not jump straight to the exit.
+    cfg = _cfg("""
+        def f(x):
+            try:
+                try:
+                    work(x)
+                finally:
+                    inner(x)
+            finally:
+                release(x)
+    """)
+    inner = _blocks_with_line(cfg, _line_of_call(cfg, "inner"))
+    release = _blocks_with_line(cfg, _line_of_call(cfg, "release"))
+    # No copy of the inner finally may reach the exit around release.
+    assert not _reaches_from(cfg, inner, {cfg.exit.id}, avoid_ids=release)
+
+
+def test_exception_to_outer_handler_runs_inner_finally_first():
+    # The exc edge out of work() may not bypass the inner finally on
+    # its way to the outer except handler.
+    cfg = _cfg("""
+        def f(x):
+            try:
+                try:
+                    work(x)
+                finally:
+                    release(x)
+            except ValueError:
+                recover(x)
+            return 1
+    """)
+    recover = _blocks_with_line(cfg, _line_of_call(cfg, "recover"))
+    release = _blocks_with_line(cfg, _line_of_call(cfg, "release"))
+    assert not _reaches(cfg, recover, avoid_ids=release)
+
+
+def test_loop_exception_path_rejoins_loop_header():
+    cfg = _cfg("""
+        def f(xs):
+            for x in xs:
+                try:
+                    work(x)
+                except ValueError:
+                    note(x)
+            return 0
+    """)
+    # The handler falls through back into the loop; exit stays reachable.
+    assert _reaches(cfg, {cfg.exit.id})
+    note = _blocks_with_line(cfg, _line_of_call(cfg, "note"))
+    # For loops carry the For node in the header block (iter + binding).
+    header = {b.id for b in cfg.blocks
+              if any(isinstance(s, ast.For) for s in b.stmts)}
+    assert header, "for loop lowers to a header block carrying the For"
+    assert _reaches_from(cfg, note, header)

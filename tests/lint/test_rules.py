@@ -25,6 +25,11 @@ CASES = [
     ("RPL005", "rpl005", "src/repro/fixture_mod.py"),
     ("RPL006", "rpl006", "src/repro/server/fixture_mod.py"),
     ("RPL007", "rpl007", "src/repro/fixture_mod.py"),
+    ("RPL008", "rpl008", "src/repro/client/fixture_mod.py"),
+    ("RPL009", "rpl009", "src/repro/server/fixture_mod.py"),
+    ("RPL010", "rpl010", "src/repro/server/fixture_mod.py"),
+    ("RPL011", "rpl011", "src/repro/server/fixture_mod.py"),
+    ("RPL012", "rpl012", "src/repro/client/fixture_mod.py"),
 ]
 
 
@@ -65,6 +70,39 @@ def test_rpl004_flags_augmented_assignment():
     result = _lint_fixture("rpl004_fires.py", "RPL004",
                            "src/repro/fixture_mod.py")
     assert any("augmented" in v.message for v in result.violations)
+
+
+def test_rpl008_reports_the_tainted_sink_call():
+    result = _lint_fixture("rpl008_fires.py", "RPL008",
+                           "src/repro/client/fixture_mod.py")
+    assert len(result.violations) == 1
+    assert "local_timeout" in result.violations[0].message
+
+
+def test_rpl009_reports_blocking_and_generator_reach():
+    result = _lint_fixture("rpl009_fires.py", "RPL009",
+                           "src/repro/server/fixture_mod.py")
+    messages = " | ".join(v.message for v in result.violations)
+    assert "time.sleep" in messages
+    assert "generator" in messages
+
+
+def test_rpl010_reports_both_drift_directions():
+    result = _lint_fixture("rpl010_fires.py", "RPL010",
+                           "src/repro/server/fixture_mod.py")
+    messages = " | ".join(v.message for v in result.violations)
+    assert "dead write" in messages and "debug_tag" in messages
+    assert "never-set read" in messages and "origin" in messages
+
+
+def test_rpl012_flags_the_acquire_site():
+    result = _lint_fixture("rpl012_fires.py", "RPL012",
+                           "src/repro/client/fixture_mod.py")
+    assert len(result.violations) == 1
+    # The finding anchors at the leaked _enter() call.
+    line_text = (FIXTURES / "rpl012_fires.py").read_text().splitlines()[
+        result.violations[0].line - 1]
+    assert "_enter" in line_text
 
 
 def test_rpl006_reports_unknown_group_and_missing_kinds():
