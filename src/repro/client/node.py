@@ -1042,6 +1042,12 @@ class StorageTankClient:
     def _on_lease_expired(self, server: Optional[str] = None) -> None:
         """Invalidate cache and cede locks — for one server's files in a
         multi-server installation, or everything otherwise."""
+        # Attest the lapse: every subsequent RPC carries the bumped
+        # generation, which is the server's evidence that this client
+        # *observed* phase 4 and discarded its state — the precondition
+        # for lifting a §6 fence.  A client that never quiesces (or a
+        # pre-lapse retry) never carries a fresh generation.
+        self.endpoint.lapse_gen += 1
         if server is None or len(self.servers) == 1:
             dropped = self.cache.invalidate_all()
             for fid, _mode in self.locks.all_held():

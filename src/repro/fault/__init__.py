@@ -7,6 +7,11 @@ injections are ordinary simulation processes, so they compose with
 workloads and are reproducible from the seed.
 """
 
+from repro.fault.adversary import (
+    BYZANTINE_KINDS,
+    ByzantineClientAgent,
+    possess,
+)
 from repro.fault.injector import STEP_KINDS, FaultInjector, ScheduleError
 from repro.fault.scenarios import (
     fig2_control_partition,
@@ -17,9 +22,12 @@ from repro.fault.scenarios import (
 )
 
 __all__ = [
+    "BYZANTINE_KINDS",
+    "ByzantineClientAgent",
     "FaultInjector",
     "STEP_KINDS",
     "ScheduleError",
+    "possess",
     "client_crash",
     "fig2_control_partition",
     "san_partition",

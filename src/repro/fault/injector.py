@@ -6,6 +6,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Generator, List, Mapping, Optional, Tuple
 
 from repro.core.system import StorageTankSystem
+from repro.fault.adversary import ByzantineClientAgent
 from repro.sim.events import Event
 from repro.sim.process import Process
 
@@ -42,6 +43,13 @@ STEP_KINDS: Dict[str, Tuple[str, Tuple[str, ...]]] = {
     "crash_cache": ("crash_cache_node", ("node",)),
     "restart_cache": ("restart_cache_node", ("node",)),
     "flush_cache": ("flush_cache_node", ("node",)),
+    # Byzantine possession (repro.fault.adversary): the client itself
+    # misbehaves rather than failing.  §6's fencing is the backstop.
+    "ignore_lease_expiry": ("ignore_lease_expiry", ("client",)),
+    "replay_stale_grant": ("replay_stale_grant", ("client",)),
+    "stretch_clock": ("stretch_clock", ("client",)),
+    "forge_san_write": ("forge_san_write", ("client",)),
+    "suppress_release": ("suppress_release", ("client",)),
 }
 
 
@@ -220,6 +228,38 @@ class FaultInjector:
         sysm = self.system
         return self._add(f"flush_cache:{node}",
                          lambda: sysm.netcache[node].flush_all())
+
+    # -- Byzantine possession (repro.fault.adversary) -----------------------
+    def _possess(self, client: str, kind: str) -> "FaultInjector":
+        sysm = self.system
+
+        def act() -> None:
+            ByzantineClientAgent.possess(sysm, client, kind)
+        return self._add(f"byz_{kind}:{client}", act)
+
+    def ignore_lease_expiry(self, client: str) -> "FaultInjector":
+        """Possess a client: it keeps serving/writing after lease lapse
+        (§3.2 violated; §6 fencing must contain it)."""
+        return self._possess(client, "ignore_lease_expiry")
+
+    def replay_stale_grant(self, client: str) -> "FaultInjector":
+        """Possess a client: it periodically reasserts every lock grant
+        it ever received, including pre-steal (stale) ones."""
+        return self._possess(client, "replay_stale_grant")
+
+    def stretch_clock(self, client: str) -> "FaultInjector":
+        """Possess a client: its clock rate drops far below the ε bound
+        (T-Lease slow-clock attack on Theorem 3.1)."""
+        return self._possess(client, "stretch_clock")
+
+    def forge_san_write(self, client: str) -> "FaultInjector":
+        """Possess a client: it issues SAN writes for blocks it holds
+        no lock on (fencing/capability check must reject them)."""
+        return self._possess(client, "forge_san_write")
+
+    def suppress_release(self, client: str) -> "FaultInjector":
+        """Possess a client: it ACKs lock demands but never complies."""
+        return self._possess(client, "suppress_release")
 
     def custom(self, label: str, fn: Callable[[], None]) -> "FaultInjector":
         """Queue an arbitrary action."""

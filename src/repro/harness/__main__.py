@@ -23,6 +23,7 @@ from repro.analysis.report import Table
 from repro.harness import registry
 # Importing these modules populates the registry via @experiment.
 from repro.harness import ablations as _ablations  # noqa: F401
+from repro.harness import adversary as _adversary  # noqa: F401
 from repro.harness import cache as _cache  # noqa: F401
 from repro.harness import experiments as _experiments  # noqa: F401
 from repro.harness import scale as _scale  # noqa: F401

@@ -92,6 +92,10 @@ class LockManager:
         """Length of the wait queue for an object."""
         return len(self._waiters.get(obj, []))
 
+    def waiting(self, obj: int) -> List[Tuple[str, LockMode]]:
+        """(client, mode) for every queued waiter, in queue order."""
+        return [(w.client, w.mode) for w in self._waiters.get(obj, [])]
+
     # -- mutation --------------------------------------------------------------
     def try_acquire(self, client: str, obj: int, mode: LockMode,
                     ) -> Tuple[bool, List[Tuple[str, LockMode]]]:

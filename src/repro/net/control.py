@@ -341,6 +341,15 @@ class Endpoint:
         self.trace = trace if trace is not None else net.trace
         self.default_policy = default_policy or RetryPolicy()
         self.alive = True
+        # Lease-lapse attestation generation (§6 containment).  The
+        # lease layer bumps this when a lease *expires locally* — i.e.
+        # the node ran its expected-failure path (quiesce, flush, drop
+        # cache and locks).  Requests created while it is non-zero carry
+        # it as ``__lapse_gen__``, so a server that fenced this node can
+        # distinguish "the old incarnation is still talking" (no new
+        # attestation: keep the fence) from "the node observed its lapse
+        # and discarded stale state" (safe to lift the fence).
+        self.lapse_gen = 0
         # Observability bundle (set by node constructors / build_system);
         # None means no metrics/span recording on this endpoint.
         self.obs: Optional["Observability"] = None
@@ -460,6 +469,11 @@ class Endpoint:
         self._next_seq += 1
         msg = Message(self.name, dst, kind,
                       dict(payload) if payload else {}, self._next_seq)
+        if self.lapse_gen:
+            # Attest the lapses this node has observed (and cleaned up
+            # after).  Stamped at creation: a request initiated *before*
+            # a lapse keeps its pre-lapse view across retries.
+            msg.payload["__lapse_gen__"] = self.lapse_gen
         msg.sent_local_time = self.local_now()
         sim = self.sim
         pending = self._pending

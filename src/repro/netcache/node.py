@@ -199,6 +199,10 @@ class MetadataCacheNode:
 
     def _expiry_flusher(self, server: str) -> Callable[[], None]:
         def flush() -> None:
+            # Attest the lapse (see client._on_lease_expired): the bumped
+            # generation on subsequent RPCs is what lets a fencing server
+            # trust this node again after it went dark.
+            self.endpoint.lapse_gen += 1
             self.flush_server(server, "lease-expired")
         return flush
 
@@ -276,9 +280,14 @@ class MetadataCacheNode:
                        msg_kind=msg.kind, server=upstream, client=msg.src)
         gen0 = self._gen.get(upstream, 0)
         inval0 = self._inval_gen
+        forward = dict(msg.payload)
+        # The client's lapse attestation must not be forwarded under this
+        # node's name: the server tracks generations per *sender*, and
+        # our own endpoint re-stamps our own generation on the way out.
+        forward.pop("__lapse_gen__", None)
         try:
             reply = yield from self.endpoint.request(upstream, msg.kind,
-                                                     dict(msg.payload))
+                                                     forward)
         except NackError as exc:
             payload = dict(exc.nack.payload)
             error = str(payload.get("error", ""))

@@ -45,6 +45,18 @@ class ServerConfig:
     demand_timeout: float = 1.0       # per-datagram timeout for demands
     demand_retries: int = 3
     unfence_on_rejoin: bool = True    # lift fences when a stolen client returns
+    # §6 containment: a holder that keeps ACKing demands without ever
+    # releasing is treated as failed after this many patience rounds
+    # (suspect -> resolution -> steal+fence).  0 disables escalation.
+    demand_escalate_rounds: int = 6
+    # When the pump re-grants a freed lock, demand it from the *new*
+    # holder on behalf of the waiters still queued (clients cache locks
+    # until demanded, so without this the rest of the queue can starve
+    # behind a holder that never releases).  Off by default to preserve
+    # replay of the blessed fail-stop corpus; the simtest runner turns
+    # it on for adversarial schedules, where a Byzantine holder makes
+    # the starvation unbounded.
+    demand_chain: bool = False
     # Local secs reassertions win over fresh locks after a restart.
     # build_system derives this from the lease contract (tau(1+eps)) so
     # the window out-waits every pre-crash lease; the bare default here
@@ -109,6 +121,17 @@ class StorageTankServer:
         self.closes_by_file: Dict[int, int] = {}  # per-file close census
         self._fenced: Set[str] = set()
         self._active_demands: Set[Tuple[str, int, LockMode]] = set()
+        # §6 attested rejoin: highest lease-lapse generation each client
+        # has attested (``__lapse_gen__`` request stamp), and the value
+        # snapshotted when the client was fenced.  A fence lifts only
+        # after the client attests a *newer* lapse — proof it observed
+        # its lease expire and discarded stale cache and locks.  A
+        # possessed client that never runs its expiry path never attests
+        # and stays fenced.
+        self._lapse_seen: Dict[str, int] = {}
+        self._lapse_at_fence: Dict[str, int] = {}
+        self.rejected_releases = 0   # RELEASE/DOWNGRADE from a non-holder
+        self.rejected_reasserts = 0  # REASSERT refused (fenced/theft evidence)
 
         # In-network metadata cache tier (repro.netcache).  Empty by
         # default: the barrier machinery then adds zero branches to the
@@ -174,10 +197,18 @@ class StorageTankServer:
                     # not a transaction (and never a lease NACK).
                     return refusal
             self.transactions += 1
+            gen = msg.payload.get("__lapse_gen__")
+            if gen is not None and int(gen) > self._lapse_seen.get(msg.src, 0):
+                self._lapse_seen[msg.src] = int(gen)
             if (self.config.unfence_on_rejoin and msg.src in self._fenced
-                    and not self.authority.is_suspect(msg.src)):
-                # A stolen client is back in contact: its lease expired and
-                # its cache is gone, so it is safe to re-admit to the SAN.
+                    and not self.authority.is_suspect(msg.src)
+                    and self._attested_since_fence(msg.src)):
+                # A stolen client is back in contact *and* has attested a
+                # lease lapse newer than the fence: it observed the expiry,
+                # ran the §3.2 cleanup and dropped its stale cache, so it
+                # is safe to re-admit to the SAN.  Without the attestation
+                # the fence stays up (§6): an incarnation that never saw
+                # its lease die may still hold — and write — stale data.
                 self.unfence_client(msg.src)
             result = self._stamp_epoch(fn(msg))
             if msg.src in self._cache_set:
@@ -334,11 +365,17 @@ class StorageTankServer:
                         client=client,
                         n_locks=len(stolen) + len(stolen_ranges))
 
+    def _attested_since_fence(self, client: str) -> bool:
+        """Whether the client attested a lease lapse newer than its fence."""
+        return (self._lapse_seen.get(client, 0)
+                > self._lapse_at_fence.get(client, 0))
+
     def fence_client(self, client: str) -> None:
         """Construct a fence between the client and shared storage (§6)."""
         if client in self._fenced:
             return
         self._fenced.add(client)
+        self._lapse_at_fence[client] = self._lapse_seen.get(client, 0)
         if self.config.fence_scope == "fabric":
             self.san.fence_at_fabric(client)
         else:
@@ -394,7 +431,29 @@ class StorageTankServer:
         for holder, _held in conflicts:
             self._spawn_demand(holder, obj, mode)
         yield wait_ev
+        if self.config.demand_chain:
+            # The pump granted us the lock, making *us* the holder the
+            # rest of the queue conflicts with.  Clients cache locks
+            # until demanded, so without a demand against the new holder
+            # every remaining waiter would starve behind our (lazily
+            # kept) grant.
+            for _waiter, wmode in self.locks.waiting(obj):
+                if not compatible(mode, wmode):
+                    self._spawn_demand(client, obj, wmode)
         return mode
+
+    def _lock_activity(self, holder: str, obj: int) -> float:
+        """Time of the latest lock-history record for (holder, obj).
+
+        The demand loop uses this to tell a complying-but-contended
+        holder (its record moves: release, re-grant, downgrade) from a
+        wedged or protocol-violating one (record frozen across rounds).
+        """
+        latest = -1.0
+        for rec in self.locks.history:
+            if rec.client == holder and rec.obj == obj:
+                latest = rec.time
+        return latest
 
     def _spawn_demand(self, holder: str, obj: int, needed: LockMode) -> None:
         key = (holder, obj, needed)
@@ -406,7 +465,17 @@ class StorageTankServer:
 
     def _demand_loop(self, holder: str, obj: int, needed: LockMode,
                      ) -> Generator[Event, Any, None]:
-        """Demand a lock back until the holder yields or is stolen from."""
+        """Demand a lock back until the holder yields or is stolen from.
+
+        A holder that keeps acknowledging demands without ever releasing
+        gets ``demand_escalate_rounds`` patience rounds, then is marked
+        suspect: the ACKs prove the computer is reachable, so the only
+        remaining explanations are a wedged client or one that fails to
+        respect the protocol — either way the §6 backstop (resolution,
+        steal, fence) is the way forward, and honest waiters stop
+        starving behind it.
+        """
+        acked_rounds = 0
         try:
             while True:
                 held = self.locks.mode_of(holder, obj)
@@ -438,7 +507,24 @@ class StorageTankServer:
                 except NackError:
                     return
                 # Holder acknowledged; give it time to flush and release.
+                activity0 = self._lock_activity(holder, obj)
                 yield self.endpoint.local_timeout(self.config.demand_patience)
+                if self._lock_activity(holder, obj) != activity0:
+                    # The holder's lock record moved (release, downgrade,
+                    # re-grant under contention): it IS complying with
+                    # the protocol, so the stuck-holder clock restarts.
+                    acked_rounds = 0
+                    continue
+                acked_rounds += 1
+                rounds = self.config.demand_escalate_rounds
+                if (rounds > 0 and acked_rounds >= rounds
+                        and not self.authority.is_suspect(holder)):
+                    mark = getattr(self.authority, "mark_suspect", None)
+                    if mark is not None:
+                        self.trace.emit(self.sim.now, "server.demand_escalate",
+                                        self.name, client=holder, obj=obj,
+                                        rounds=acked_rounds)
+                        mark(holder)
         finally:
             self._active_demands.discard((holder, obj, needed))
 
@@ -645,12 +731,26 @@ class StorageTankServer:
         return run()
 
     def _h_lock_release(self, msg: Message):
-        self.locks.release(msg.src, int(msg.payload["file_id"]))
+        # ``msg.src`` is validated against lock ownership: a release can
+        # only ever drop *the sender's own* holding.  A release naming an
+        # object the sender does not hold — a replayed pre-steal release,
+        # or one raced by a steal — is a counted no-op, never a way to
+        # forfeit another holder's lock.  Still ACKed: release is
+        # idempotent, and the §6 resolution already voided the holding.
+        fid = int(msg.payload["file_id"])
+        if self.locks.mode_of(msg.src, fid) == LockMode.NONE:
+            self.rejected_releases += 1
+            return ("ack", {"status": "not_holder"})
+        self.locks.release(msg.src, fid)
         return ("ack", {})
 
     def _h_lock_downgrade(self, msg: Message):
-        self.locks.downgrade(msg.src, int(msg.payload["file_id"]),
-                             LockMode(int(msg.payload["to"])))
+        # Same ownership validation as release (see above).
+        fid = int(msg.payload["file_id"])
+        if self.locks.mode_of(msg.src, fid) == LockMode.NONE:
+            self.rejected_releases += 1
+            return ("ack", {"status": "not_holder"})
+        self.locks.downgrade(msg.src, fid, LockMode(int(msg.payload["to"])))
         return ("ack", {})
 
     def _h_data_read(self, msg: Message):

@@ -138,7 +138,43 @@ class RecoveryManager:
                 return run()
         return self._do_reassert(msg, obj, mode)
 
+    def _reassert_allowed(self, client: str, obj: int) -> bool:
+        """Validate ``msg.src``'s claim before re-trusting it (§6).
+
+        A reassert is a client's *assertion* that it still holds a lock
+        the server's volatile state forgot.  Two pieces of server-side
+        evidence refute that assertion, and either refusal closes a
+        stale-capability replay hole:
+
+        - the client is currently fenced — a distrusted incarnation must
+          not re-enter the lock table until it attests its lapse;
+        - the lock history shows the claimed grant was *stolen* from the
+          client (latest steal at-or-after its latest grant) — the §6
+          resolution voided the capability, so replaying it is refused
+          even after the client is unfenced.
+        """
+        if client in self.server._fenced:
+            return False
+        last_grant = last_steal = None
+        for rec in self.server.locks.history:
+            if rec.obj != obj or rec.client != client:
+                continue
+            if rec.op == "grant":
+                last_grant = rec.time
+            elif rec.op == "steal":
+                last_steal = rec.time
+        if last_steal is not None and (last_grant is None
+                                       or last_steal >= last_grant):
+            return False
+        return True
+
     def _do_reassert(self, msg: Message, obj: int, mode: LockMode):
+        if not self._reassert_allowed(msg.src, obj):
+            self.server.rejected_reasserts += 1
+            self.server.trace.emit(self.server.sim.now, "server.reject",
+                                   self.server.name, client=msg.src, obj=obj,
+                                   what="reassert")
+            return ("nack", {"error": "reassert_refused"})
         granted, conflicts = self.server.locks.try_acquire(msg.src, obj, mode)
         if granted:
             self.reasserted += 1

@@ -52,6 +52,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run with N in-network metadata cache nodes "
                              "(adds cache crash/flush fault kinds and the "
                              "stale-entry oracle's traffic; default 0)")
+    parser.add_argument("--adversaries", type=int, default=0, metavar="N",
+                        help="possess N clients with Byzantine behaviors "
+                             "drawn from the adversary pool (ignore-expiry, "
+                             "suppress-release, forged SAN writes, stale "
+                             "replays, clock stretch; default 0)")
     parser.add_argument("--replay", metavar="ARTIFACT",
                         help="re-run a failure artifact and verify its "
                              "trace hash reproduces")
@@ -93,12 +98,15 @@ def _print_violations(result: SimRunResult) -> None:
 def _fuzz_once(args: argparse.Namespace) -> int:
     schedule = generate_schedule(args.seed, args.steps,
                                  break_mode=args.break_mode,
-                                 cache_nodes=getattr(args, "cache_nodes", 0))
+                                 cache_nodes=getattr(args, "cache_nodes", 0),
+                                 adversaries=getattr(args, "adversaries", 0))
     print(f"seed={args.seed} steps={len(schedule.steps)} "
           f"horizon={schedule.horizon:g}s clients={schedule.n_clients} "
           f"epsilon={schedule.epsilon:.4f}"
           + (f" cache_nodes={schedule.cache_nodes}"
              if schedule.cache_nodes else "")
+          + (f" adversaries={schedule.adversaries}"
+             if schedule.adversaries else "")
           + (f" break_mode={schedule.break_mode}"
              if schedule.break_mode else ""))
     result = run_schedule(schedule)
@@ -220,6 +228,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--steps must be >= 0")
     if args.cache_nodes < 0:
         parser.error("--cache-nodes must be >= 0")
+    if args.adversaries < 0:
+        parser.error("--adversaries must be >= 0")
     if args.batch is not None and args.batch < 1:
         parser.error("--batch must be >= 1")
     if args.jobs < 1:

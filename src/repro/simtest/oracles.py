@@ -134,6 +134,44 @@ def _contract(system: StorageTankSystem) -> LeaseContract:
     return system.config.lease.contract()
 
 
+def _byzantine_clients(system: StorageTankSystem) -> Dict[str, List[str]]:
+    """client -> possession kinds, parsed from ``byz_<kind>:<client>``
+    fault labels.  A client possessed by *any* misbehavior is outside
+    the cooperative protocol: the honest-client oracles exempt it and
+    the §6 containment oracles take over."""
+    out: Dict[str, List[str]] = {}
+    for _t, label in _fault_events(system):
+        if label.startswith("byz_"):
+            head, sep, client = label.partition(":")
+            if sep and client:
+                out.setdefault(client, []).append(head[len("byz_"):])
+    return out
+
+
+def _fence_windows(system: StorageTankSystem, server: str,
+                   client: str) -> List[Tuple[float, float]]:
+    """[start, end] fence windows for one (server, client) pair; an
+    unlifted fence extends to the end of the run."""
+    windows: List[Tuple[float, float]] = []
+    start: Optional[float] = None
+    events: List[Tuple[float, int, str]] = []
+    for rec in system.trace.select(kind="server.fence"):
+        if rec.node == server and rec.get("client") == client:
+            events.append((rec.time, 0, "open"))
+    for rec in system.trace.select(kind="server.unfence"):
+        if rec.node == server and rec.get("client") == client:
+            events.append((rec.time, 1, "close"))
+    for t, _o, op in sorted(events):
+        if op == "open" and start is None:
+            start = t
+        elif op == "close" and start is not None:
+            windows.append((start, t))
+            start = None
+    if start is not None:
+        windows.append((start, system.sim.now))
+    return windows
+
+
 # -- the oracles ----------------------------------------------------------
 
 class LockCompatibilityOracle(Oracle):
@@ -151,8 +189,14 @@ class LockCompatibilityOracle(Oracle):
 
     def check_live(self, system: StorageTankSystem) -> List[OracleViolation]:
         """Flag conflicting locks concurrently held under usable leases."""
+        byz = _byzantine_clients(system)
         holders: Dict[int, List[Tuple[str, LockMode]]] = {}
         for cname, client in system.pool.live_items():
+            if cname in byz:
+                # A possessed client's local lock table lies by design
+                # (it keeps entries the server has long voided); the §6
+                # containment oracles judge it instead.
+                continue
             locks = getattr(client, "locks", None)
             leases = getattr(client, "leases", None)
             if locks is None or leases is None:
@@ -205,8 +249,11 @@ class NoSilentLossOracle(Oracle):
     def check_final(self, system: StorageTankSystem) -> List[OracleViolation]:
         """Run the consistency audit and report I2/I3/I4 findings."""
         report = ConsistencyAuditor(system).audit()
+        byz = _byzantine_clients(system)
         out: List[OracleViolation] = []
         for v in report.lost_updates:
+            if v.client in byz:
+                continue  # an adversary losing its own data IS containment
             if _ever_crashed_at_or_after(system, v.client, v.time):
                 continue  # died with the writer's volatile cache (§2)
             out.append(self._violation(
@@ -214,12 +261,16 @@ class NoSilentLossOracle(Oracle):
                 f"acked write {v.detail.get('tag')!r} silently lost",
                 **v.detail))
         for v in report.stale_reads:
+            if v.client in byz:
+                continue  # self-inflicted; §6 judges the honest side only
             out.append(self._violation(
                 v.time, v.client,
                 f"stale read of {v.detail.get('block')}: got "
                 f"{v.detail.get('got')!r} after newer data hardened",
                 **v.detail))
         for v in report.unsynchronized_writes:
+            if v.client in byz:
+                continue  # capability-checked-san-io owns adversary writes
             out.append(self._violation(
                 v.time, v.client,
                 f"disk write to {v.detail.get('block')} without an "
@@ -246,6 +297,7 @@ class ExpectedFailureFlushOracle(Oracle):
         """Flag expected-failure paths that dropped dirty data without cause."""
         out: List[OracleViolation] = []
         slow = set(system.config.slow_clients)
+        byz = _byzantine_clients(system)
         for rec in system.trace.select(kind="client.lease_lost"):
             dropped = int(rec.get("dirty_dropped") or 0)
             if dropped == 0:
@@ -253,6 +305,8 @@ class ExpectedFailureFlushOracle(Oracle):
             client = rec.node
             if client in slow:
                 continue  # outside the lease guarantee (§6): fencing's job
+            if client in byz:
+                continue  # a possessed client sabotages its own flush
             if int(rec.get("in_flight") or 0) > 0:
                 continue  # expiry raced an op still draining; flush blocked
             if _crashed_before(system, client, rec.time):
@@ -417,11 +471,17 @@ class Theorem31Oracle(Oracle):
         out: List[OracleViolation] = []
         contract = _contract(system)
         slow = set(system.config.slow_clients)
+        byz = _byzantine_clients(system)
         clocks = system.clocks.clocks
         renewals = list(system.trace.select(kind="lease.renewed"))
         for steal in system.trace.select(kind="lease.steal"):
             client = str(steal.get("client"))
             if client in slow or client not in clocks:
+                continue
+            if client in byz:
+                # A possessed client (above all stretch_clock, which is
+                # exactly the §6 slow-computer case) is outside the
+                # theorem's rate-skew assumption.
                 continue
             server = steal.node
             last_start: Optional[float] = None
@@ -527,6 +587,290 @@ class CacheNoStaleEntryOracle(Oracle):
         return None
 
 
+class FencedClientNoStaleServiceOracle(Oracle):
+    """A fenced client touches no shared storage and regains no trust.
+
+    §6's whole point: once the server distrusts a client it constructs a
+    fence *at the store*, so even a client that ignores its lease — or
+    whose commands are still in flight from a slow computer — cannot
+    read or modify shared data.  Two checks per fence window (from
+    ``server.fence``/``server.unfence`` trace records):
+
+    - no *accepted* disk I/O by the fenced initiator lands inside the
+      window (denied I/O is the fence doing its job);
+    - the server grants the fenced client no LOCK_REASSERT inside the
+      window (re-trusting a distrusted incarnation's lock claims is the
+      stale-capability replay hole in reverse);
+    - every fence *lift* is earned: the client observably went through
+      phase 4 (a ``client.lease_lost`` / lease-expired cache flush) since
+      the last time the server trusted it — unfencing an incarnation
+      that never discarded its lease state readmits its stale cache and
+      stale lock table whole.
+
+    Runs on every schedule, adversarial or not.
+    """
+
+    name = "fenced-client-serves-no-stale-data"
+    claim = ("§6: a fence constructed between a distrusted client and "
+             "the shared store blocks all of its I/O, and the server "
+             "extends it no new trust until the fence lifts")
+
+    def check_final(self, system: StorageTankSystem) -> List[OracleViolation]:
+        """Flag accepted I/O and granted reasserts inside fence windows."""
+        out: List[OracleViolation] = []
+        pairs = sorted({(rec.node, str(rec.get("client")))
+                        for rec in system.trace.select(kind="server.fence")})
+        for server, client in pairs:
+            windows = _fence_windows(system, server, client)
+
+            def inside(t: float) -> bool:
+                return any(s + _TIME_SLACK < t < e - _TIME_SLACK
+                           for s, e in windows)
+
+            for dname, disk in sorted(system.disks.items()):
+                for ev in disk.history:
+                    if ev.initiator != client or ev.op not in ("write",
+                                                               "read"):
+                        continue
+                    if inside(ev.time):
+                        out.append(self._violation(
+                            ev.time, client,
+                            f"fenced client {client!r} got an accepted "
+                            f"{ev.op} at {dname}:{ev.lba} inside a fence "
+                            f"window", device=dname, lba=ev.lba, op=ev.op,
+                            tag=ev.tag, server=server))
+            for rec in system.trace.select(kind="server.reassert"):
+                if (rec.node == server and rec.get("client") == client
+                        and inside(rec.time)):
+                    out.append(self._violation(
+                        rec.time, server,
+                        f"server granted fenced client {client!r} a "
+                        f"reassert of object {rec.get('obj')} inside a "
+                        f"fence window", client=client, obj=rec.get("obj")))
+            out.extend(self._unearned_unfences(system, server, client))
+        return out
+
+    def _unearned_unfences(self, system: StorageTankSystem, server: str,
+                           client: str) -> List[OracleViolation]:
+        """Unfences with no observed lapse since the previous re-trust."""
+        lapses = self._lapse_times(system, client)
+        out: List[OracleViolation] = []
+        prev = float("-inf")
+        unfences = sorted(rec.time for rec
+                          in system.trace.select(kind="server.unfence")
+                          if rec.node == server
+                          and rec.get("client") == client)
+        for t in unfences:
+            if not any(prev < lt <= t + _TIME_SLACK for lt in lapses):
+                out.append(self._violation(
+                    t, server,
+                    f"server unfenced {client!r} although the client "
+                    f"never observably discarded its lease state",
+                    client=client))
+            prev = t
+        return out
+
+    @staticmethod
+    def _lapse_times(system: StorageTankSystem, client: str) -> List[float]:
+        """When ``client`` observably went through phase 4 (lapse)."""
+        times = [rec.time for rec
+                 in system.trace.select(kind="client.lease_lost")
+                 if rec.node == client]
+        times.extend(rec.time for rec
+                     in system.trace.select(kind="netcache.flush")
+                     if rec.node == client
+                     and rec.get("reason") == "lease-expired")
+        return sorted(times)
+
+
+class CapabilityCheckedSanIoOracle(Oracle):
+    """An adversary's SAN write is honored only under a live capability.
+
+    Chaudhuri's complaint about NASD-style designs — any initiator can
+    scribble on shared devices — is what Storage Tank's server-granted
+    locks plus fencing answer: a data write is legitimate only while the
+    *server-side* lock table shows the writer holding EXCLUSIVE on the
+    file (the lock is the capability; the fence is its revocation).
+    For every possessed client, each accepted disk write must fall
+    inside a server-recorded EXCLUSIVE interval (grant → release /
+    downgrade / steal) covering that block's file.  Silent on runs
+    without adversaries — for honest clients the same claim is already
+    NoSilentLossOracle's I4.
+    """
+
+    name = "capability-checked-san-io"
+    claim = ("§6/Chaudhuri: shared-store writes are honored only under "
+             "a server-granted, unrevoked lock capability — fencing "
+             "makes the revocation effective at the device")
+
+    def check_final(self, system: StorageTankSystem) -> List[OracleViolation]:
+        """Flag adversary disk writes outside any EXCLUSIVE interval."""
+        byz = _byzantine_clients(system)
+        if not byz:
+            return []
+        servers = getattr(system, "servers", None) or {
+            system.server.name: system.server}
+        history = []
+        for srv in servers.values():
+            history.extend(srv.locks.history)
+        history.sort(key=lambda g: g.time)
+        intervals: Dict[Tuple[int, str], List[Tuple[float, float]]] = {}
+        open_at: Dict[Tuple[int, str], float] = {}
+        for g in history:
+            key = (g.obj, g.client)
+            if g.op == "grant" and g.mode == LockMode.EXCLUSIVE:
+                open_at.setdefault(key, g.time)
+            elif g.op == "downgrade" and g.mode != LockMode.EXCLUSIVE:
+                start = open_at.pop(key, None)
+                if start is not None:
+                    intervals.setdefault(key, []).append((start, g.time))
+            elif g.op in ("release", "steal"):
+                start = open_at.pop(key, None)
+                if start is not None:
+                    intervals.setdefault(key, []).append((start, g.time))
+        horizon = system.sim.now
+        for key, start in open_at.items():
+            intervals.setdefault(key, []).append((start, horizon))
+
+        block_file: Dict[Tuple[str, int], int] = {}
+        for srv in servers.values():
+            meta = srv.metadata
+            for fid in list(meta._inodes):
+                for addr in meta._inodes[fid].extents.iter_physical():
+                    block_file[addr] = fid
+
+        out: List[OracleViolation] = []
+        for dname, disk in sorted(system.disks.items()):
+            for ev in disk.history:
+                if ev.op != "write" or ev.initiator not in byz:
+                    continue
+                fid = block_file.get((dname, ev.lba))
+                if fid is None:
+                    continue  # unallocated scribble; not file data
+                covered = any(
+                    s - _TIME_SLACK <= ev.time <= e + _TIME_SLACK
+                    for s, e in intervals.get((fid, ev.initiator), []))
+                if not covered:
+                    out.append(self._violation(
+                        ev.time, ev.initiator,
+                        f"adversary {ev.initiator!r} landed write "
+                        f"{ev.tag!r} on {dname}:{ev.lba} (file {fid}) "
+                        f"with no covering lock capability",
+                        device=dname, lba=ev.lba, file=fid, tag=ev.tag))
+        return out
+
+
+class ByzantineContainmentOracle(Oracle):
+    """Misbehavior is contained: honest clients stay consistent and fed.
+
+    The §6 claim is containment, not prevention — an adversary may
+    corrupt *its own* data and burn *its own* lease, but (a) honest
+    clients' acked writes survive, their reads are fresh and their disk
+    writes are lock-covered (the audit invariants, filtered to honest
+    clients), and (b) no honest client starves forever behind a
+    conflicting adversary holding: the demand-escalation path must
+    eventually suspect, steal from and fence the silent holder.
+    Silent on runs without adversaries.
+    """
+
+    name = "byzantine-containment"
+    claim = ("§6: fencing contains a client that fails to respect its "
+             "lease — honest clients' consistency and progress are "
+             "preserved")
+
+    def check_final(self, system: StorageTankSystem) -> List[OracleViolation]:
+        """Honest-filtered audit invariants plus the starvation clause."""
+        byz = _byzantine_clients(system)
+        if not byz:
+            return []
+        out: List[OracleViolation] = []
+        report = ConsistencyAuditor(system).audit()
+        for v in report.lost_updates:
+            if v.client in byz:
+                continue
+            if _ever_crashed_at_or_after(system, v.client, v.time):
+                continue
+            out.append(self._violation(
+                v.time, v.client,
+                f"honest client's acked write {v.detail.get('tag')!r} "
+                f"lost under an adversary", **v.detail))
+        for v in report.stale_reads:
+            if v.client not in byz:
+                out.append(self._violation(
+                    v.time, v.client,
+                    f"honest client read stale data at "
+                    f"{v.detail.get('block')} under an adversary",
+                    **v.detail))
+        for v in report.unsynchronized_writes:
+            if v.client not in byz:
+                out.append(self._violation(
+                    v.time, v.client,
+                    f"honest client wrote {v.detail.get('block')} without "
+                    f"a lock under an adversary", **v.detail))
+        out.extend(self._starvation(system, byz))
+        return out
+
+    def _starvation(self, system: StorageTankSystem,
+                    byz: Dict[str, List[str]]) -> List[OracleViolation]:
+        """Honest waiters stuck behind an unresolved adversary holder."""
+        out: List[OracleViolation] = []
+        servers = getattr(system, "servers", None) or {
+            system.server.name: system.server}
+        contract = _contract(system)
+        now = system.sim.now
+        for sname, srv in servers.items():
+            locks = getattr(srv, "locks", None)
+            config = getattr(srv, "config", None)
+            if locks is None or config is None:
+                continue
+            patience = float(getattr(config, "demand_patience", 2.0))
+            rounds = int(getattr(config, "demand_escalate_rounds", 0)) or 6
+            budget = 2.0 * rounds * patience * (1.0 + contract.epsilon)
+            for obj, waiters in sorted(locks._waiters.items()):
+                for waiter in waiters:
+                    if waiter.client in byz:
+                        continue
+                    for holder, held in sorted(locks.holders(obj).items()):
+                        if holder not in byz or compatible(held, waiter.mode):
+                            continue
+                        first_demand = self._first_demand(system, sname,
+                                                          holder)
+                        if first_demand is None:
+                            continue
+                        if self._resolved_after(system, sname, holder,
+                                                first_demand):
+                            continue
+                        if now - first_demand > budget:
+                            out.append(self._violation(
+                                now, waiter.client,
+                                f"honest client {waiter.client!r} starved "
+                                f"on object {obj} behind adversary "
+                                f"{holder!r} for "
+                                f"{now - first_demand:.1f}s with no "
+                                f"escalation", obj=obj, holder=holder,
+                                first_demand=first_demand))
+        return out
+
+    @staticmethod
+    def _first_demand(system: StorageTankSystem, server: str,
+                      holder: str) -> Optional[float]:
+        for rec in system.trace.select(kind="msg.send"):
+            if (rec.node == server and rec.get("dst") == holder
+                    and rec.get("msg_kind") == str(MsgKind.LOCK_DEMAND)):
+                return rec.time
+        return None
+
+    @staticmethod
+    def _resolved_after(system: StorageTankSystem, server: str,
+                        holder: str, time: float) -> bool:
+        for kind in ("lease.suspect", "server.steal"):
+            for rec in system.trace.select(kind=kind):
+                if (rec.node == server and rec.get("client") == holder
+                        and rec.time >= time - _TIME_SLACK):
+                    return True
+        return False
+
+
 def default_oracles() -> List[Oracle]:
     """The standard invariant library, one instance each."""
     return [
@@ -537,4 +881,7 @@ def default_oracles() -> List[Oracle]:
         NackTimedOutOracle(),
         Theorem31Oracle(),
         CacheNoStaleEntryOracle(),
+        FencedClientNoStaleServiceOracle(),
+        CapabilityCheckedSanIoOracle(),
+        ByzantineContainmentOracle(),
     ]

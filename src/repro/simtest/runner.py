@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Generator, List, Optional
 
 from repro.core.system import StorageTankSystem, build_system
+from repro.fault.adversary import BYZANTINE_KINDS
 from repro.fault.injector import FaultInjector
 from repro.sim.events import Event
 from repro.simtest.oracles import Oracle, OracleViolation, default_oracles
@@ -77,12 +78,65 @@ def _break_steal_early(system: StorageTankSystem) -> None:
                                          epsilon=0.0)
 
 
+def _break_blind_unfence(system: StorageTankSystem) -> None:
+    """Sabotage: the server unfences any fenced client on its next RPC
+    without requiring a lapse attestation — the pre-fix rejoin hole
+    (an ignore-expiry client that never quiesced walks right back in)."""
+    for srv in _servers(system).values():
+        if hasattr(srv, "_attested_since_fence"):
+            setattr(srv, "_attested_since_fence", lambda client: True)
+
+
+def _break_blind_reassert(system: StorageTankSystem) -> None:
+    """Sabotage: the server grants any non-conflicting LOCK_REASSERT
+    without checking fencing or theft evidence — the pre-fix
+    stale-capability replay hole."""
+    for srv in _servers(system).values():
+        recovery = getattr(srv, "recovery", None)
+        if recovery is not None and hasattr(recovery, "_reassert_allowed"):
+            setattr(recovery, "_reassert_allowed",
+                    lambda client, obj: True)
+
+
+def _break_no_demand_escalate(system: StorageTankSystem) -> None:
+    """Sabotage: the server never escalates a perpetually-ACKing,
+    never-complying lock holder to suspect, so a suppress_release
+    adversary starves honest waiters forever."""
+    for srv in _servers(system).values():
+        config = getattr(srv, "config", None)
+        if config is not None and hasattr(config, "demand_escalate_rounds"):
+            config.demand_escalate_rounds = 0
+
+
 #: Registry of deliberate protocol breaks, for oracle/shrinker testing.
 BREAK_MODES: Dict[str, Callable[[StorageTankSystem], None]] = {
     "skip_flush": _break_skip_flush,
     "ack_expiring": _break_ack_expiring,
     "steal_early": _break_steal_early,
+    "blind_unfence": _break_blind_unfence,
+    "blind_reassert": _break_blind_reassert,
+    "no_demand_escalate": _break_no_demand_escalate,
 }
+
+
+def _is_adversarial(schedule: Schedule) -> bool:
+    """Whether the schedule possesses any client (generated or crafted)."""
+    return (schedule.adversaries > 0
+            or any(step.kind in BYZANTINE_KINDS for step in schedule.steps))
+
+
+def _enable_adversarial_defenses(system: StorageTankSystem) -> None:
+    """Arm the containment behaviors that are off for fail-stop runs.
+
+    Chain demands (pump-regrant starvation fix) change the RPC trace of
+    honest runs, so they are gated off by default to keep the blessed
+    fail-stop corpus replayable; any schedule with a Byzantine step gets
+    them, since a never-releasing holder makes the starvation unbounded.
+    """
+    for srv in _servers(system).values():
+        config = getattr(srv, "config", None)
+        if config is not None and hasattr(config, "demand_chain"):
+            config.demand_chain = True
 
 
 def _servers(system: StorageTankSystem) -> Dict[str, Any]:
@@ -155,6 +209,8 @@ def run_schedule(schedule: Schedule,
     oracle_list = oracles if oracles is not None else default_oracles()
     system = build_system(schedule.system_config())
     apply_break_mode(system, schedule.break_mode)
+    if _is_adversarial(schedule):
+        _enable_adversarial_defenses(system)
 
     # Bootstrap the shared working set before any fault fires.
     boot = system.spawn(populate_files(system), "simtest-populate")

@@ -49,6 +49,17 @@ CACHE_KINDS: Tuple[Tuple[str, float], ...] = (
     ("flush_cache", 1.0),
 )
 
+#: Byzantine possession kinds with relative weights (drawn once per
+#: adversary in the schedule's adversary budget, *after* the primary
+#: loop, so fail-stop schedules draw an unchanged RNG sequence).
+BYZ_KINDS: Tuple[Tuple[str, float], ...] = (
+    ("ignore_lease_expiry", 3.0),
+    ("suppress_release", 2.0),
+    ("forge_san_write", 2.0),
+    ("replay_stale_grant", 2.0),
+    ("stretch_clock", 1.0),
+)
+
 
 @dataclass(frozen=True)
 class FaultStep:
@@ -93,6 +104,10 @@ class Schedule:
     #: Number of in-network metadata cache nodes (0 = no cache tier;
     #: pre-existing serialized schedules deserialize to 0).
     cache_nodes: int = 0
+    #: Adversary budget: how many Byzantine possession steps the
+    #: generator drew (0 = fail-stop only; pre-existing serialized
+    #: schedules deserialize to 0).
+    adversaries: int = 0
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -158,6 +173,7 @@ class Schedule:
             "epsilon": self.epsilon,
             "break_mode": self.break_mode,
             "cache_nodes": self.cache_nodes,
+            "adversaries": self.adversaries,
             "steps": [s.to_dict() for s in self.steps],
         }
 
@@ -176,6 +192,7 @@ class Schedule:
             epsilon=float(data.get("epsilon", 0.05)),
             break_mode=str(data.get("break_mode", "")),
             cache_nodes=int(data.get("cache_nodes", 0)),
+            adversaries=int(data.get("adversaries", 0)),
             steps=tuple(FaultStep.from_dict(s)
                         for s in data.get("steps", ())),
         )
@@ -183,7 +200,8 @@ class Schedule:
 
 def generate_schedule(seed: int, n_steps: int,
                       break_mode: str = "",
-                      cache_nodes: int = 0) -> Schedule:
+                      cache_nodes: int = 0,
+                      adversaries: int = 0) -> Schedule:
     """Draw a randomized fault schedule from one root seed.
 
     ``n_steps`` counts *primary* fault events; paired heals, restarts
@@ -194,11 +212,16 @@ def generate_schedule(seed: int, n_steps: int,
     identical schedules.  With ``cache_nodes > 0`` the run gets a
     netcache tier and cache crash/flush kinds join the primary pool;
     with 0 the draw sequence is identical to pre-cache releases.
+    With ``adversaries > 0``, that many Byzantine possession steps are
+    drawn *after* the primary loop (victim, kind, early onset time), so
+    fail-stop schedules draw an unchanged RNG sequence.
     """
     if n_steps < 0:
         raise ScheduleError(f"n_steps must be >= 0, got {n_steps}")
     if cache_nodes < 0:
         raise ScheduleError(f"cache_nodes must be >= 0, got {cache_nodes}")
+    if adversaries < 0:
+        raise ScheduleError(f"adversaries must be >= 0, got {adversaries}")
     rng = RandomStreams(seed).get("simtest.schedule")
     n_clients = int(rng.integers(2, 4))           # 2 or 3
     epsilon = float(rng.uniform(0.0, 0.1))
@@ -258,6 +281,19 @@ def generate_schedule(seed: int, n_steps: int,
             node = caches[int(rng.integers(0, cache_nodes))]
             steps.append(FaultStep(t, "flush_cache", {"node": node}))
 
+    # Byzantine possessions land early (first ~40% of the horizon) so
+    # the run has room to detect, steal from and fence the adversary.
+    byz_kinds = [k for k, _ in BYZ_KINDS]
+    byz_w = [w for _, w in BYZ_KINDS]
+    byz_total = sum(byz_w)
+    byz_probs = [w / byz_total for w in byz_w]
+    for _ in range(adversaries):
+        client = clients[int(rng.integers(0, n_clients))]
+        kind = byz_kinds[int(rng.choice(len(byz_kinds), p=byz_probs))]
+        t = float(rng.uniform(1.0, max(1.5, horizon * 0.4)))
+        steps.append(FaultStep(t, kind, {"client": client}))
+
     return Schedule(seed=seed, horizon=horizon, n_clients=n_clients,
                     epsilon=epsilon, break_mode=break_mode,
-                    cache_nodes=cache_nodes, steps=tuple(steps))
+                    cache_nodes=cache_nodes, adversaries=adversaries,
+                    steps=tuple(steps))

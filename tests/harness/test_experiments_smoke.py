@@ -128,3 +128,20 @@ def test_e_scale_table_respects_clients_cap():
     rows = table.as_dicts()
     assert [r["clients"] for r in rows] == [1000]
     assert all(r["live"] == 8 for r in rows)
+
+
+def test_e_adv_point_fences_suppress_adversary():
+    from repro.harness.adversary import adv_point
+    point = adv_point(1, n_clients=200, duration=30.0)
+    assert point["adversaries"] == 1
+    assert point["mix"] == "suppress_release"
+    assert point["honest_goodput"] > 0
+    assert point["fenced"] == 1          # escalation -> steal -> fence
+    assert point["mean_ttf"] is not None and point["mean_ttf"] > 0
+
+
+def test_e_adv_baseline_has_no_fences():
+    from repro.harness.adversary import adv_point
+    point = adv_point(0, n_clients=200, duration=30.0)
+    assert point["mix"] == "-"
+    assert point["fenced"] == 0 and point["mean_ttf"] is None

@@ -107,12 +107,72 @@ def test_unfence_on_rejoin():
     s.server.steal_client("c1")
     assert "c1" in s.server.fenced_clients
 
+    # Rejoining alone is not enough: the client has not observed its own
+    # lapse, so it may still believe its stale locks — the fence holds
+    # until the rejoin RPC carries a lapse attestation (§6).
     def rejoin():
         yield from c1.getattr("/f")
+    run_gen(s, rejoin())
+    assert "c1" in s.server.fenced_clients
+
+    # Once the client goes through phase 4 (discards cache and locks),
+    # its next RPC attests the lapse and the fence lifts.
+    c1._on_lease_expired()
     run_gen(s, rejoin())
     assert "c1" not in s.server.fenced_clients
     for disk in s.disks.values():
         assert not disk.fence_table.is_fenced("c1")
+
+
+def test_release_from_non_holder_is_rejected():
+    """A replayed/forged LOCK_RELEASE must not forfeit the honest
+    holder's lock: the server validates msg.src against the lock table
+    before honoring it (the msg.src-trust asymmetry fix)."""
+    s = make_system(n_clients=2)
+    c1, c2 = s.client("c1"), s.client("c2")
+    out = {}
+
+    def setup():
+        yield from c1.create("/f", size=BLOCK_SIZE)
+        fd = yield from c1.open_file("/f", "w")
+        out["fid"] = c1.fds.get(fd).file_id
+    run_gen(s, setup())
+    fid = out["fid"]
+    held = s.server.locks.mode_of("c1", fid)
+    assert held != LockMode.NONE
+
+    def forge_release():
+        reply = yield from c2.endpoint.request(
+            "server", MsgKind.LOCK_RELEASE, {"file_id": fid})
+        return reply
+    reply = run_gen(s, forge_release())
+    assert reply.payload.get("status") == "not_holder"
+    assert s.server.rejected_releases == 1
+    # The honest holder kept its lock.
+    assert s.server.locks.mode_of("c1", fid) == held
+
+
+def test_downgrade_from_non_holder_is_rejected():
+    s = make_system(n_clients=2)
+    c1, c2 = s.client("c1"), s.client("c2")
+    out = {}
+
+    def setup():
+        yield from c1.create("/f", size=BLOCK_SIZE)
+        fd = yield from c1.open_file("/f", "w")
+        out["fid"] = c1.fds.get(fd).file_id
+    run_gen(s, setup())
+    fid = out["fid"]
+
+    def forge_downgrade():
+        reply = yield from c2.endpoint.request(
+            "server", MsgKind.LOCK_DOWNGRADE,
+            {"file_id": fid, "mode": int(LockMode.SHARED)})
+        return reply
+    reply = run_gen(s, forge_downgrade())
+    assert reply.payload.get("status") == "not_holder"
+    assert s.server.rejected_releases == 1
+    assert s.server.locks.mode_of("c1", fid) == LockMode.EXCLUSIVE
 
 
 def test_fabric_scope_fencing():

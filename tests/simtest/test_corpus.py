@@ -14,10 +14,12 @@ from repro.simtest.schedule import generate_schedule
 
 def test_corpus_file_matches_pinned_runs():
     entries = load_corpus()
-    assert [(e.seed, e.n_steps, e.cache_nodes) for e in entries] == \
-        list(PINNED_RUNS)
+    assert [(e.seed, e.n_steps, e.cache_nodes, e.adversaries)
+            for e in entries] == list(PINNED_RUNS)
     assert any(e.cache_nodes > 0 for e in entries), \
         "the corpus must pin at least one netcache-enabled schedule"
+    assert any(e.adversaries > 0 for e in entries), \
+        "the corpus must pin at least one adversarial schedule"
     for e in entries:
         assert len(e.trace_hash) == 64
         int(e.trace_hash, 16)  # hex digest
@@ -67,11 +69,12 @@ def test_bless_writes_replayable_corpus(tmp_path):
 
 
 def test_bless_refuses_failing_runs(tmp_path, monkeypatch):
-    monkeypatch.setattr(corpus_mod, "PINNED_RUNS", ((2, 20, 0),))
+    monkeypatch.setattr(corpus_mod, "PINNED_RUNS", ((2, 20, 0, 0),))
     monkeypatch.setattr(
         corpus_mod, "generate_schedule",
-        lambda seed, n, cache_nodes=0: generate_schedule(
-            seed, n, break_mode="skip_flush", cache_nodes=cache_nodes))
+        lambda seed, n, cache_nodes=0, adversaries=0: generate_schedule(
+            seed, n, break_mode="skip_flush", cache_nodes=cache_nodes,
+            adversaries=adversaries))
     path = tmp_path / "corpus.json"
     with pytest.raises(ValueError, match="refusing to bless"):
         bless_corpus(str(path))

@@ -310,5 +310,8 @@ def test_default_oracles_one_of_each():
     assert names == ["lock-compatibility", "no-silent-loss",
                      "expected-failure-flush", "passive-server",
                      "nack-timed-out", "theorem-3.1",
-                     "cache-serves-no-stale-entry"]
+                     "cache-serves-no-stale-entry",
+                     "fenced-client-serves-no-stale-data",
+                     "capability-checked-san-io",
+                     "byzantine-containment"]
     assert all(o.claim for o in default_oracles())

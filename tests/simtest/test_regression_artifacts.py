@@ -1,13 +1,15 @@
-"""Pinned netcache regression schedules, shipped as replay artifacts.
+"""Pinned regression schedules, shipped as replay artifacts.
 
 Each artifact under ``tests/simtest/artifacts/`` is a shrunk schedule
-that once exposed (or guards against) a cache-tier coherence bug,
-stored in the same ``repro.simtest/1.0`` format the fuzzer writes, so
+that once exposed (or guards against) a protocol bug — cache-tier
+coherence races and Byzantine containment holes alike — stored in the
+same ``repro.simtest/1.0`` format the fuzzer writes, so
 ``python -m repro.simtest --replay <artifact>`` reproduces it from the
 command line.  The tests replay every artifact and assert the run is
-clean and the trace hash is bit-identical; two companion tests knock
-out the fixed mechanism and assert the schedule still catches the bug
-(the pin has teeth, not just a hash).
+clean and the trace hash is bit-identical; companion knock-out tests
+re-break the fixed mechanism (removing a hook, or applying the
+artifact's recorded ``knockout_break_mode``) and assert the schedule
+still catches the bug (the pin has teeth, not just a hash).
 """
 
 from __future__ import annotations
@@ -36,6 +38,9 @@ def test_artifacts_present():
     names = [os.path.basename(p) for p in ARTIFACTS]
     assert "netcache-reassert-after-server-restart.json" in names
     assert "netcache-crash-invalidation-race.json" in names
+    assert "byz-ignore-expiry-attested-unfence.json" in names
+    assert "byz-replay-stale-grant-validated-reassert.json" in names
+    assert "byz-suppress-release-demand-escalation.json" in names
 
 
 @pytest.mark.parametrize("path", ARTIFACTS,
@@ -43,7 +48,8 @@ def test_artifacts_present():
 def test_artifact_replays_clean_and_bit_identical(path):
     doc = load_artifact(path)
     schedule = Schedule.from_dict(doc["schedule"])
-    assert schedule.cache_nodes > 0, "netcache artifacts run the cache tier"
+    if os.path.basename(path).startswith("netcache-"):
+        assert schedule.cache_nodes > 0, "netcache artifacts run the cache tier"
     result = run_schedule(schedule)
     assert result.ok, result.oracle_names()
     assert result.trace_hash == doc["trace_hash"], \
@@ -80,3 +86,37 @@ def test_invalidation_artifact_catches_dropped_invalidations(monkeypatch):
                         lambda self, msg: ("ack", {}))
     result = run_schedule(schedule)
     assert "cache-serves-no-stale-entry" in result.oracle_names()
+
+
+BYZ_ARTIFACTS = [
+    "byz-ignore-expiry-attested-unfence.json",
+    "byz-replay-stale-grant-validated-reassert.json",
+    "byz-suppress-release-demand-escalation.json",
+]
+
+
+@pytest.mark.parametrize("name", BYZ_ARTIFACTS)
+def test_byz_artifact_catches_reverted_fix(name):
+    """Re-breaking the containment fix each adversarial artifact was
+    shrunk against makes the pinned schedule fire the recorded oracles
+    again — the knock-out direction of the pin."""
+    doc = _load(name)
+    schedule = Schedule.from_dict(doc["schedule"])
+    break_mode = doc["extra"]["knockout_break_mode"]
+    expected = doc["extra"]["knockout_oracles"]
+    result = run_schedule(dataclasses.replace(schedule,
+                                              break_mode=break_mode))
+    assert not result.ok, f"{name}: knock-out ran clean"
+    assert set(expected) & set(result.oracle_names()), \
+        (name, expected, result.oracle_names())
+
+
+@pytest.mark.parametrize("name", BYZ_ARTIFACTS)
+def test_byz_artifact_is_adversarial_and_1_minimal_sized(name):
+    """Adversarial artifacts really contain a Byzantine possession step
+    and stay small (they were ddmin'd to 1-minimality when shrunk)."""
+    from repro.fault import BYZANTINE_KINDS
+    doc = _load(name)
+    schedule = Schedule.from_dict(doc["schedule"])
+    assert any(s.kind in BYZANTINE_KINDS for s in schedule.steps)
+    assert len(schedule.steps) <= 3

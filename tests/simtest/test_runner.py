@@ -40,7 +40,9 @@ def test_keep_system_and_canonical_trace():
 def test_unknown_break_mode_rejected():
     with pytest.raises(ValueError, match="unknown break mode"):
         apply_break_mode(make_system(), "melt_the_server")
-    assert set(BREAK_MODES) == {"skip_flush", "ack_expiring", "steal_early"}
+    assert set(BREAK_MODES) == {"skip_flush", "ack_expiring", "steal_early",
+                                "blind_unfence", "blind_reassert",
+                                "no_demand_escalate"}
 
 
 def test_skip_flush_caught_by_flush_oracle():
