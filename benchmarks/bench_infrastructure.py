@@ -190,3 +190,64 @@ def _spin_scale_registration(n_clients: int) -> int:
 def test_scale_client_registration_throughput(benchmark):
     """Flyweight-registration rate: build + park 50k clients lazily."""
     benchmark(_spin_scale_registration, 50_000)
+
+
+def _spin_intent_open(n: int) -> int:
+    """``n`` open/close cycles through the intent fast path.
+
+    With intents on, each cycle is one LOCK_BATCH round trip: the open
+    intent carries the previous iteration's deferred close, so the
+    steady state is exactly one control datagram per open — the PR 10
+    claim, measured end to end through the real client and server.
+    """
+    cfg = SystemConfig(n_clients=1, protocol="storage_tank",
+                       intents=True, workload=WorkloadConfig(n_files=1))
+    system = build_system(cfg)
+    client = system.client(system.pool.name_of(0))
+
+    def caller():
+        yield from client.create("/bench", size=4096)
+        for _ in range(n):
+            fd = yield from client.open_file("/bench", "r")
+            yield from client.close(fd)
+
+    proc = system.spawn(caller(), "bench:intent-open")
+    system.sim.run_until_event(proc, hard_limit=system.sim.now + 600)
+    assert client.ops_completed >= n
+    return n
+
+
+def test_intent_open_throughput(benchmark):
+    """Open/close cycles per second, one intent round trip each."""
+    benchmark(_spin_intent_open, 1_000)
+
+
+def _spin_batched_range_acquire(n: int) -> int:
+    """``n`` four-range locked reads, two LOCK_BATCH round trips each.
+
+    The batch-adjacent grant policy coalesces the four contiguous
+    sub-requests into one interval-list grant, so this measures the
+    whole batching stack: client batch assembly, policy coalescing,
+    server-side grant, paired batched release.
+    """
+    cfg = SystemConfig(n_clients=1, protocol="storage_tank",
+                       intents=True, workload=WorkloadConfig(n_files=1))
+    system = build_system(cfg)
+    client = system.client(system.pool.name_of(0))
+
+    def caller():
+        yield from client.create("/bench", size=4 * 4096)
+        fd = yield from client.open_file("/bench", "r")
+        ranges = [(i * 4096, 4096) for i in range(4)]
+        for _ in range(n):
+            yield from client.read_ranges_locked(fd, ranges)
+
+    proc = system.spawn(caller(), "bench:batched-range")
+    system.sim.run_until_event(proc, hard_limit=system.sim.now + 600)
+    assert client.ops_completed >= 4 * n
+    return n
+
+
+def test_batched_range_acquire_throughput(benchmark):
+    """Batched 4-range lock/IO/unlock cycles per second."""
+    benchmark(_spin_batched_range_acquire, 250)

@@ -32,9 +32,10 @@ from typing import Callable, Dict, Tuple
 sys.path.insert(0, "src")  # runnable from the repo root without PYTHONPATH
 
 from bench_infrastructure import (  # noqa: E402
-    _spin_fuzz_step, _spin_metrics, _spin_netcache_lookup, _spin_processes,
-    _spin_rpcs, _spin_scale_registration, _spin_timeouts,
-    _spin_trace_counting_only, _spin_trace_emits)
+    _spin_batched_range_acquire, _spin_fuzz_step, _spin_intent_open,
+    _spin_metrics, _spin_netcache_lookup, _spin_processes, _spin_rpcs,
+    _spin_scale_registration, _spin_timeouts, _spin_trace_counting_only,
+    _spin_trace_emits)
 from lint_smoke import _spin_lint_cold, _spin_lint_warm  # noqa: E402
 
 SCHEMA = "repro.bench-perf/1.0"
@@ -64,6 +65,9 @@ BENCHES: Dict[str, Tuple[Callable[[], object], int]] = {
     "netcache_lookup_miss": (lambda: _spin_netcache_lookup(500, 1e-4), 500),
     "lint_full_repo": (_spin_lint_cold, 1),
     "lint_full_repo_warm": (_spin_lint_warm, 1),
+    "intent_open": (lambda: _spin_intent_open(1_000), 1_000),
+    "batched_range_acquire": (
+        lambda: _spin_batched_range_acquire(250), 250),
 }
 
 
@@ -109,12 +113,16 @@ def calibrate() -> float:
     return n / _best_time(workload, reps=5)
 
 
-def run_benches(reps: int = 5) -> Dict[str, Dict[str, float]]:
-    """Measure every bench; returns raw and normalized throughput."""
+def run_benches(reps: int = 5,
+                only: Tuple[str, ...] = ()) -> Dict[str, Dict[str, float]]:
+    """Measure every bench (or the ``only`` subset); returns raw and
+    normalized throughput."""
     cal = calibrate()
     out: Dict[str, Dict[str, float]] = {
         "__calibration__": {"score_ops_per_sec": cal}}
     for name, (fn, units) in BENCHES.items():
+        if only and name not in only:
+            continue
         best = _best_time(fn, reps)
         ops = units / best
         out[name] = {
@@ -140,7 +148,8 @@ def make_document(results: Dict[str, Dict[str, float]]) -> Dict[str, object]:
     }
 
 
-def check(baseline_path: str, tolerance: float, reps: int) -> int:
+def check(baseline_path: str, tolerance: float, reps: int,
+          only: Tuple[str, ...] = ()) -> int:
     """Compare a fresh run's normalized numbers to the baseline."""
     with open(baseline_path) as fh:
         doc = json.load(fh)
@@ -148,9 +157,17 @@ def check(baseline_path: str, tolerance: float, reps: int) -> int:
         print(f"error: {baseline_path} has schema {doc.get('schema')!r}, "
               f"expected {SCHEMA!r}", file=sys.stderr)
         return 2
-    results = run_benches(reps)
+    gated = {name: vals for name, vals in doc["benches"].items()
+             if not only or name in only}
+    if only:
+        missing = set(only) - set(doc["benches"])
+        if missing:
+            print(f"error: --only names not in baseline: "
+                  f"{', '.join(sorted(missing))}", file=sys.stderr)
+            return 2
+    results = run_benches(reps, only=only)
     failures = 0
-    for name, committed in doc["benches"].items():
+    for name, committed in gated.items():
         fresh = results.get(name)
         if fresh is None:
             print(f"  {name}: MISSING from current bench set")
@@ -163,8 +180,8 @@ def check(baseline_path: str, tolerance: float, reps: int) -> int:
         print(f"  {name}: normalized {fresh['normalized']:.4f} "
               f"(baseline {committed['normalized']:.4f}, "
               f"floor {floor:.4f}) {status}")
-    print(f"perf-smoke: {len(doc['benches']) - failures}/"
-          f"{len(doc['benches'])} within tolerance {tolerance:.0%}")
+    print(f"perf-smoke: {len(gated) - failures}/"
+          f"{len(gated)} within tolerance {tolerance:.0%}")
     return 0 if failures == 0 else 1
 
 
@@ -183,11 +200,22 @@ def main(argv=None) -> int:
     parser.add_argument("--reps", type=int, default=15,
                         help="repetitions per bench; best time wins "
                              "(default 15)")
+    parser.add_argument("--only", nargs="+", default=(), metavar="NAME",
+                        help="check only these benches against the "
+                             "baseline (CI job scoping; --check only)")
     args = parser.parse_args(argv)
     if not 0 <= args.tolerance < 1:
         parser.error("--tolerance must be in [0, 1)")
+    unknown = set(args.only) - set(BENCHES)
+    if unknown:
+        parser.error(f"--only names not in bench set: "
+                     f"{', '.join(sorted(unknown))}")
+    if args.only and not args.check:
+        parser.error("--only requires --check (baselines are written "
+                     "complete)")
     if args.check:
-        return check(args.check, args.tolerance, args.reps)
+        return check(args.check, args.tolerance, args.reps,
+                     only=tuple(args.only))
     results = run_benches(args.reps)
     doc = make_document(results)
     with open(args.write, "w") as fh:

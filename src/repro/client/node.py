@@ -31,7 +31,7 @@ from repro.locks.client_table import ClientLockTable
 from repro.locks.modes import LockMode
 from repro.metadata.inode import FileAttributes
 from repro.net.control import ControlNetwork, Endpoint, RetryPolicy
-from repro.net.message import DeliveryError, Message, MsgKind, NackError
+from repro.net.message import DeliveryError, Message, MsgKind, Nack, NackError
 from repro.net.san import SanFabric, SanUnreachableError
 from repro.obs import Observability
 from repro.sim.clock import LocalClock
@@ -83,6 +83,12 @@ class ClientConfig:
     # positive TTL, getattr serves a cached copy for up to that many
     # local seconds before re-fetching.  0 disables attribute caching.
     attr_cache_ttl: float = 0.0
+    # Intent locking (Lustre DLM style): open/growth-setattr ride a
+    # LOCK_INTENT carrying the operation, byte-range batches ride
+    # LOCK_BATCH, and closes defer onto the next batch.  Off by default:
+    # the split protocol's datagram sequence — and the golden trace
+    # hashes over it — is untouched.
+    use_intents: bool = False
 
 
 class StorageTankClient:
@@ -175,6 +181,9 @@ class StorageTankClient:
         # Weakly consistent attribute cache: path -> (attrs, local fetch time).
         self._attr_cache: Dict[str, Tuple[FileAttributes, float]] = {}
         self.attr_cache_hits = 0
+        # Deferred closes (intent mode): per-server file ids whose close
+        # census rides the next LOCK_BATCH instead of its own datagram.
+        self._pending_closes: Dict[str, List[int]] = {}
 
         self.leases: Dict[str, ClientLeaseManager] = {}
         if self.config.use_leases:
@@ -246,10 +255,13 @@ class StorageTankClient:
         self._enter()
         try:
             sent_at = self.sim.now
-            reply = yield from self._rpc(MsgKind.OPEN,
-                                         {"path": path, "mode": mode}, srv,
-                                         route=("path", path))
-            p = reply.payload
+            if self.config.use_intents:
+                p = yield from self._intent_open(path, mode, srv)
+            else:
+                reply = yield from self._rpc(MsgKind.OPEN,
+                                             {"path": path, "mode": mode}, srv,
+                                             route=("path", path))
+                p = reply.payload
             attrs = FileAttributes.from_payload(p["attrs"])
             extents = extents_from_payload(p["extents"])
             lock = LockMode(int(p["lock"]))
@@ -269,6 +281,41 @@ class StorageTankClient:
             return of.fd
         finally:
             self._exit()
+
+    def _intent_open(self, path: str, mode: str, srv: str,
+                     ) -> Generator[Event, Any, Dict[str, Any]]:
+        """One-round-trip open: the lock request carries the operation.
+
+        Deferred closes for this server ride the same datagram as a
+        LOCK_BATCH, so an open→close→open cycle costs one message."""
+        closes = self._pending_closes.pop(srv, None)
+        if not closes:
+            reply = yield from self._rpc(MsgKind.LOCK_INTENT,
+                                         {"op": "open", "path": path,
+                                          "mode": mode}, srv,
+                                         route=("path", path))
+            return reply.payload
+        ops: List[Dict[str, Any]] = [{"op": "close", "file_id": fid}
+                                     for fid in closes]
+        ops.append({"op": "open", "path": path, "mode": mode})
+        try:
+            reply = yield from self._rpc(MsgKind.LOCK_BATCH, {"ops": ops},
+                                         srv, route=("path", path))
+        except (DeliveryError, NackError):
+            # The piggybacked closes may not have landed: re-queue them
+            # so the census rides a later batch.
+            self._pending_closes.setdefault(srv, [])[:0] = closes
+            raise
+        res = dict(reply.payload["results"][-1])
+        if not res.pop("ok", False):
+            # Surface the failed open sub-op exactly as a split-protocol
+            # OPEN would: a NackError carrying the server's error.
+            req = Message(src=self.name, dst=srv, kind=MsgKind.LOCK_INTENT,
+                          payload={"op": "open", "path": path})
+            raise NackError(req, Nack(src=srv, dst=self.name,
+                                      reply_to=req.msg_id,
+                                      payload={"error": res.get("error", "")}))
+        return res
 
     def read(self, fd: int, offset: int, nbytes: int,
              ) -> Generator[Event, Any, List[Tuple[int, Optional[str]]]]:
@@ -330,12 +377,28 @@ class StorageTankClient:
             pinned = True
             end = offset + nbytes
             if end > of.extents.size_bytes:
-                reply = yield from self._rpc(MsgKind.SETATTR,
-                                             {"file_id": of.file_id, "size": end},
-                                             of.server,
-                                             route=("file", of.file_id))
-                of.attrs = FileAttributes.from_payload(reply.payload["attrs"])
-                of.extents = extents_from_payload(reply.payload["extents"])
+                if self.config.use_intents:
+                    # Growth folds into a setattr intent: the reply is
+                    # op-result + (idempotent) grant in one round trip.
+                    sent_at = self.sim.now
+                    reply = yield from self._rpc(
+                        MsgKind.LOCK_INTENT,
+                        {"op": "setattr", "file_id": of.file_id,
+                         "size": end},
+                        of.server, route=("file", of.file_id))
+                    lock = reply.payload.get("lock")
+                    if (lock is not None
+                            and not self._lock_reply_stale(of.file_id,
+                                                           sent_at)):
+                        self.locks.note_granted(of.file_id,
+                                                LockMode(int(lock)))
+                        of.lock = LockMode(int(lock))
+                else:
+                    reply = yield from self._rpc(
+                        MsgKind.SETATTR,
+                        {"file_id": of.file_id, "size": end},
+                        of.server, route=("file", of.file_id))
+                self._apply_meta_reply(of, reply.payload)
             tag = f"{self.name}:w{next(self._write_seq)}"
             first, count = byte_range_to_blocks(offset, nbytes)
             phys = []
@@ -367,11 +430,18 @@ class StorageTankClient:
         yield from self._flush_dirty(of.file_id)
         self._enter()
         try:
-            try:
-                yield from self._rpc(MsgKind.CLOSE, {"file_id": of.file_id},
-                                     of.server)
-            except (DeliveryError, NackError):
-                pass  # close is advisory; lease machinery handles the failure
+            if self.config.use_intents:
+                # Close is advisory bookkeeping (§3.1), so it need not
+                # cost a datagram: the census update rides the next
+                # LOCK_BATCH to this server.
+                self._pending_closes.setdefault(of.server,
+                                                []).append(of.file_id)
+            else:
+                try:
+                    yield from self._rpc(MsgKind.CLOSE,
+                                         {"file_id": of.file_id}, of.server)
+                except (DeliveryError, NackError):
+                    pass  # close is advisory; lease machinery handles the failure
             self.fds.close(fd)
             self.ops_completed += 1
         finally:
@@ -457,6 +527,112 @@ class StorageTankClient:
                                      route=("file", of.file_id))
         finally:
             self._exit()
+
+    def read_ranges_locked(self, fd: int, ranges: List[Tuple[int, int]],
+                           ) -> Generator[Event, Any, List[List[Tuple[int, Optional[str]]]]]:
+        """Read several ``(offset, nbytes)`` ranges under SHARED range
+        locks.  Without intents this is exactly N ``read_range_locked``
+        calls; with intents the acquisitions coalesce into one
+        LOCK_BATCH (adjacent ranges merge into one grant) and the
+        releases into another — 2 round trips instead of 2N."""
+        if not self.config.use_intents:
+            out = []
+            for offset, nbytes in ranges:
+                out.append((yield from self.read_range_locked(fd, offset,
+                                                              nbytes)))
+            return out
+        of = self.fds.get(fd)
+        yield from self._admit(of.server)
+        self._enter()
+        try:
+            spans = yield from self._batch_acquire(of, ranges,
+                                                   LockMode.SHARED)
+            try:
+                out = []
+                for offset, nbytes in ranges:
+                    first, count = byte_range_to_blocks(offset, nbytes)
+                    got = yield from self._fetch_blocks(
+                        of, list(range(first, first + count)))
+                    for lb, tag in got:
+                        device, lba = of.resolve(lb)
+                        self.trace.emit(self.sim.now, "app.read", self.name,
+                                        file_id=of.file_id, block=lb, tag=tag,
+                                        device=device, lba=lba)
+                    self.ops_completed += 1
+                    out.append(sorted(got))
+                return out
+            finally:
+                yield from self._batch_release(of, spans)
+        finally:
+            self._exit()
+
+    def write_ranges_locked(self, fd: int, ranges: List[Tuple[int, int]],
+                            ) -> Generator[Event, Any, List[str]]:
+        """Write several ``(offset, nbytes)`` ranges under EXCLUSIVE
+        range locks, write-through (see ``write_range_locked``).  With
+        intents, one LOCK_BATCH acquires, one releases."""
+        if not self.config.use_intents:
+            out = []
+            for offset, nbytes in ranges:
+                out.append((yield from self.write_range_locked(fd, offset,
+                                                               nbytes)))
+            return out
+        of = self.fds.get(fd)
+        yield from self._admit(of.server)
+        self._enter()
+        try:
+            spans = yield from self._batch_acquire(of, ranges,
+                                                   LockMode.EXCLUSIVE)
+            try:
+                tags = []
+                for offset, nbytes in ranges:
+                    tag = f"{self.name}:w{next(self._write_seq)}"
+                    first, count = byte_range_to_blocks(offset, nbytes)
+                    by_device: Dict[str, Dict[int, str]] = {}
+                    phys = []
+                    for lb in range(first, first + count):
+                        device, lba = of.resolve(lb)
+                        by_device.setdefault(device, {})[lba] = tag
+                        phys.append((device, lba))
+                    for device, block_tags in by_device.items():
+                        yield from self.san.write(self.name, device,
+                                                  block_tags)
+                    self.trace.emit(self.sim.now, "app.write.ack", self.name,
+                                    file_id=of.file_id, tag=tag,
+                                    blocks=list(range(first, first + count)),
+                                    phys=phys)
+                    self.ops_completed += 1
+                    tags.append(tag)
+                return tags
+            finally:
+                yield from self._batch_release(of, spans)
+        finally:
+            self._exit()
+
+    def _batch_acquire(self, of: OpenFile, ranges: List[Tuple[int, int]],
+                       mode: LockMode,
+                       ) -> Generator[Event, Any, List[Tuple[int, int]]]:
+        """Acquire range locks for every ``(offset, nbytes)`` in one
+        LOCK_BATCH; returns the distinct granted spans (the server may
+        have coalesced or widened them) for the paired release."""
+        ops = [{"op": "range_acquire", "file_id": of.file_id,
+                "start": offset, "end": offset + nbytes, "mode": int(mode)}
+               for offset, nbytes in ranges]
+        reply = yield from self._rpc(MsgKind.LOCK_BATCH, {"ops": ops},
+                                     of.server, route=("file", of.file_id))
+        spans = {(int(r["start"]), int(r["end"]))
+                 for r in reply.payload["results"] if r.get("ok")}
+        return sorted(spans)
+
+    def _batch_release(self, of: OpenFile, spans: List[Tuple[int, int]],
+                       ) -> Generator[Event, Any, None]:
+        """Release the granted spans in one LOCK_BATCH."""
+        if not spans:
+            return
+        ops = [{"op": "range_release", "file_id": of.file_id,
+                "start": start, "end": end} for start, end in spans]
+        yield from self._rpc(MsgKind.LOCK_BATCH, {"ops": ops}, of.server,
+                             route=("file", of.file_id))
 
     def unlink(self, path: str) -> Generator[Event, Any, None]:
         """Remove a file.  The server demands the data lock from any
@@ -638,7 +814,23 @@ class StorageTankClient:
             "keepalives_sent": float(self.keepalives_sent),
             "lease_msgs_sent": float(self.keepalives_sent),
             "cache_hit_rate": float(self.cache.stats.hit_rate),
+            "messages_per_op": self.messages_per_op(),
         }
+
+    def rpc_by_kind(self) -> Dict[str, int]:
+        """RPC round trips this client initiated, by message kind."""
+        return dict(self.endpoint.rpc_sent)
+
+    def messages_per_op(self, exclude_keepalives: bool = True) -> float:
+        """Client-originated RPCs per completed application op.
+
+        Keep-alives are excluded by default: they are the lease
+        protocol's fixed-rate background (§3.2), not per-op traffic, and
+        the E-intent comparison is about the per-op message count."""
+        sent = self.endpoint.rpc_sent
+        total = sum(n for k, n in sent.items()
+                    if not (exclude_keepalives and k == MsgKind.KEEPALIVE))
+        return total / self.ops_completed if self.ops_completed else 0.0
 
     # -- routing ---------------------------------------------------------
     def server_for_path(self, path: str) -> str:
@@ -875,17 +1067,25 @@ class StorageTankClient:
             of.stale = True
         granted = LockMode(int(reply.payload["mode"]))
         self.locks.note_granted(of.file_id, granted)
-        # Revalidation after staleness: cached pages may be outdated.
         if of.stale:
+            # Revalidation after staleness: cached pages may be outdated.
             self.cache.invalidate_file(of.file_id)
-            attrs = reply.payload.get("attrs")
-            if attrs:
-                of.attrs = FileAttributes.from_payload(attrs)
-            ext = reply.payload.get("extents")
-            if ext:
-                of.extents = extents_from_payload(ext)
             of.stale = False
+        # The grant's own payload carries fresh attrs/extents — adopt
+        # them instead of re-fetching through a second parse path.
+        self._apply_meta_reply(of, reply.payload)
         of.lock = granted
+
+    def _apply_meta_reply(self, of: OpenFile, payload: Dict[str, Any]) -> None:
+        """Adopt the attrs/extents a reply carried (missing keys keep
+        the current view) — the single parse path for every reply that
+        returns file metadata alongside its main result."""
+        attrs = payload.get("attrs")
+        if attrs:
+            of.attrs = FileAttributes.from_payload(attrs)
+        ext = payload.get("extents")
+        if ext:
+            of.extents = extents_from_payload(ext)
 
     def _fetch_blocks(self, of: OpenFile, blocks: List[int],
                       ) -> Generator[Event, Any, List[Tuple[int, Optional[str]]]]:

@@ -19,6 +19,7 @@ from repro.core.config import SystemConfig
 from repro.lease.pooled import PooledLeaseService
 from repro.lease.server_lease import ServerLeaseAuthority
 from repro.net.control import ControlNetwork
+from repro.net.message import MsgKind
 from repro.net.partition import PartitionController, combined_views, is_symmetric
 from repro.net.san import SanFabric
 from repro.netcache import MetadataCacheNode, install_cache_router
@@ -168,6 +169,9 @@ class StorageTankSystem:
                 if hasattr(cl, "rerouted_ops"):
                     snap[f"{name}.rerouted_ops"] = cl.rerouted_ops
                     snap[f"{name}.shard_migrations"] = cl.shard_migrations
+        ops_total = 0
+        rpc_total = 0
+        rpc_by_kind: Dict[str, int] = {}
         for name, cl in self.pool.live_items():
             over = cl.overhead_snapshot()
             snap[f"{name}.ops_completed"] = int(over["ops_completed"])
@@ -178,6 +182,16 @@ class StorageTankSystem:
                 snap[f"{name}.ops_rejected"] = int(over["ops_rejected"])
                 snap[f"{name}.keepalives"] = int(over["keepalives_sent"])
                 snap[f"{name}.cache_hit_rate"] = over["cache_hit_rate"]
+            if hasattr(cl, "rpc_by_kind"):
+                ops_total += int(over["ops_completed"])
+                for kind, n in cl.rpc_by_kind().items():
+                    rpc_by_kind[kind] = rpc_by_kind.get(kind, 0) + n
+                    if kind != MsgKind.KEEPALIVE:
+                        rpc_total += n
+        if rpc_by_kind:
+            snap["client.rpc_by_kind"] = dict(sorted(rpc_by_kind.items()))
+            snap["client.messages_per_op"] = (
+                rpc_total / ops_total if ops_total else 0.0)
         for name, agent in self.pool.agent_items():
             over = agent.overhead_snapshot()
             if "heartbeats" in over:
@@ -258,7 +272,9 @@ def build_system(config: Optional[SystemConfig] = None) -> StorageTankSystem:
     # restart hands out objects an unreachable client legitimately
     # still covers — the same bound the suspect timer waits (§3, §6).
     server_cfg = ServerConfig(fence_on_steal=fence,
-                              recovery_grace=contract.server_wait_local())
+                              recovery_grace=contract.server_wait_local(),
+                              intents=cfg.intents,
+                              grant_policy=cfg.intent_grant_policy)
     server_names = cfg.server_names()
     servers: Dict[str, StorageTankServer] = {}
     for i, sname in enumerate(server_names):
@@ -276,7 +292,8 @@ def build_system(config: Optional[SystemConfig] = None) -> StorageTankSystem:
                            rpc_retries=cfg.rpc_retries,
                            quiesce_behavior=cfg.quiesce_behavior,
                            data_path=cfg.data_path,
-                           attr_cache_ttl=cfg.attr_cache_ttl)
+                           attr_cache_ttl=cfg.attr_cache_ttl,
+                           use_intents=cfg.intents)
     timers: Optional[TimerPool] = None
     pooled: Optional[PooledLeaseService] = None
     if cfg.scale.lazy_clients:

@@ -26,6 +26,7 @@ from repro.harness import ablations as _ablations  # noqa: F401
 from repro.harness import adversary as _adversary  # noqa: F401
 from repro.harness import cache as _cache  # noqa: F401
 from repro.harness import experiments as _experiments  # noqa: F401
+from repro.harness import intent as _intent  # noqa: F401
 from repro.harness import scale as _scale  # noqa: F401
 from repro.harness.common import wall_timer
 from repro.harness.parallel import run_experiments_parallel

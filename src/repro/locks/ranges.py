@@ -127,6 +127,14 @@ class RangeLockManager:
         """Queued range requests on an object."""
         return len(self._waiters.get(obj, []))
 
+    def other_interest(self, client: str, obj: int) -> bool:
+        """Whether any *other* client holds or awaits a range on ``obj``
+        (the widen-to-extent grant policy widens only when this is
+        False — widening under contention manufactures false sharing)."""
+        if any(g.client != client for g in self._grants.get(obj, [])):
+            return True
+        return any(w.client != client for w in self._waiters.get(obj, []))
+
     # -- mutation -----------------------------------------------------------
     def try_acquire(self, client: str, obj: int, rng: ByteRange,
                     mode: LockMode) -> Tuple[bool, List[RangeGrant]]:

@@ -369,7 +369,22 @@ class Endpoint:
         # invalidated if the endpoint is re-bound to a different registry).
         self._rpc_hist: Optional["Metric"] = None
         self._rpc_hist_registry: Optional[object] = None
+        self._rpc_count: Optional["Metric"] = None
+        # Requests initiated through this endpoint, by message kind
+        # (one count per logical RPC; retries share the count).  The
+        # messages-per-op accounting divides these by completed ops.
+        self.rpc_sent: Dict[str, int] = {}
 
+        # Extra payload keys merged into transport-level *receipt* ACKs
+        # (the ``__pending__`` acknowledgment of a deferred transaction).
+        # Servers stamp their recovery epoch here: the receipt ACK
+        # renews the sender's lease, so it must also carry the restart
+        # signal — a client parked behind a deferred transaction (e.g. a
+        # grant deferred into the post-restart grace window) otherwise
+        # keeps a live lease while never learning the server restarted,
+        # misses its reassertion window, and zombie-holds locks another
+        # client can then legitimately re-acquire (§6).
+        self.ack_stamp: Optional[Callable[[], Dict[str, Any]]] = None
         self.ack_listeners: List[Callable[[Message, float], None]] = []
         # Fired on a deferred transaction's *final* result, which never
         # passes through ``ack_listeners`` (the receipt ACK did, and the
@@ -467,6 +482,7 @@ class Endpoint:
         """
         pol = policy or self.default_policy
         self._next_seq += 1
+        self.rpc_sent[kind] = self.rpc_sent.get(kind, 0) + 1
         msg = Message(self.name, dst, kind,
                       dict(payload) if payload else {}, self._next_seq)
         if self.lapse_gen:
@@ -547,13 +563,20 @@ class Endpoint:
             span.end(self.sim._now, status=status)
         registry = obs.registry
         hist = self._rpc_hist
-        if hist is None or self._rpc_hist_registry is not registry:
+        count = self._rpc_count
+        if hist is None or count is None \
+                or self._rpc_hist_registry is not registry:
             hist = registry.histogram(
                 "net.rpc.latency_s", "Request round-trip time (simulated s)",
                 labels=("kind", "status"))
+            count = registry.counter(
+                "net.rpc.requests", "RPC round trips completed",
+                labels=("kind", "status"))
             self._rpc_hist = hist
+            self._rpc_count = count
             self._rpc_hist_registry = registry
         hist.labels(kind=kind, status=status).observe(self.sim._now - t0)
+        count.labels(kind=kind, status=status).inc()
 
     def _fresh_result_event(self, ticket: int) -> Event:
         """Register a waiter for a deferred-transaction result, consuming
@@ -671,8 +694,7 @@ class Endpoint:
             if state == "pending":
                 # Re-acknowledge pending (the first pending ACK may be lost).
                 self.send_datagram(Ack(self.name, msg.src, msg.msg_id,
-                                       payload={"__pending__": True,
-                                                "__ticket__": decision}))
+                                       payload=self._pending_payload(decision)))
                 return
             self._reply(msg, decision or "ack", payload)
             return
@@ -690,8 +712,7 @@ class Endpoint:
             ticket = msg.msg_id
             self._remember(key, ("pending", ticket, None))
             self.send_datagram(Ack(self.name, msg.src, msg.msg_id,
-                                   payload={"__pending__": True,
-                                            "__ticket__": ticket}))
+                                   payload=self._pending_payload(ticket)))
             self.sim.process(self._run_deferred(key, msg, ticket, result),
                              name=f"{self.name}:{msg.kind}#{msg.seq}")
         else:
@@ -746,6 +767,15 @@ class Endpoint:
         if isinstance(result, tuple) and len(result) == 2:
             return (result[0], result[1] or {})
         raise TypeError(f"handler returned invalid decision {result!r}")
+
+    def _pending_payload(self, ticket: Any) -> Dict[str, Any]:
+        """Receipt-ACK payload for a deferred transaction, including any
+        node-level stamp (servers carry ``__epoch__`` so the ACK that
+        renews a parked client's lease also proves the incarnation)."""
+        payload: Dict[str, Any] = {"__pending__": True, "__ticket__": ticket}
+        if self.ack_stamp is not None:
+            payload.update(self.ack_stamp())
+        return payload
 
     def _reply(self, msg: Message, decision: str, payload: Optional[Dict[str, Any]]) -> None:
         if decision == "ack":

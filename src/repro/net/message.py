@@ -36,6 +36,14 @@ class MsgKind:
     LOCK_RELEASE = "lock.release"
     LOCK_DOWNGRADE = "lock.downgrade"
 
+    # intent locking (Lustre-style): the lock request carries the
+    # operation, so the server executes it under the lock it is about
+    # to grant and answers op-result + grant in one round trip.
+    # LOCK_BATCH is the batching envelope: several sub-requests (e.g.
+    # contiguous RANGE_ACQUIREs) coalesced into one datagram.
+    LOCK_INTENT = "lock.intent"
+    LOCK_BATCH = "lock.batch"
+
     # byte-range locking (sub-file sharing)
     RANGE_ACQUIRE = "lock.range_acquire"
     RANGE_RELEASE = "lock.range_release"
@@ -90,6 +98,7 @@ KIND_GROUPS: Dict[str, Tuple[str, ...]] = {
     "fs-alloc": (MsgKind.ALLOC,),            # reserved; no dispatcher yet
     "locking": (MsgKind.LOCK_ACQUIRE, MsgKind.LOCK_RELEASE,
                 MsgKind.LOCK_DOWNGRADE),
+    "intent": (MsgKind.LOCK_INTENT, MsgKind.LOCK_BATCH),
     "byte-range": (MsgKind.RANGE_ACQUIRE, MsgKind.RANGE_RELEASE),
     "lease-null": (MsgKind.KEEPALIVE,),
     "data-ship": (MsgKind.DATA_READ, MsgKind.DATA_WRITE),

@@ -25,9 +25,11 @@ from typing import Any, Dict, Generator, List, Optional
 
 from repro.obs.export import export_json, make_document, make_manifest, run_entry
 
-#: Series names sampled for every run (the paper's overhead counters).
+#: Series names sampled for every run (the paper's overhead counters,
+#: plus the PR 10 protocol-cost ratio: client-originated RPC round
+#: trips — keep-alives excluded — per completed operation).
 OVERHEAD_SERIES = ("state_bytes", "lease_cpu_ops", "lease_msgs_sent",
-                   "client_lease_msgs")
+                   "client_lease_msgs", "messages_per_op")
 
 _ACTIVE: Optional["RunCollector"] = None
 
@@ -112,11 +114,24 @@ class RunCollector:
             totals["lease_cpu_ops"] += snap.get("lease_cpu_ops", 0.0)
             totals["lease_msgs_sent"] += snap.get("lease_msgs_sent", 0.0)
         client_msgs = 0.0
+        rpcs = 0.0
+        ops = 0.0
         for cl in system.pool.iter_active():
-            client_msgs += cl.overhead_snapshot().get("lease_msgs_sent", 0.0)
+            snap = cl.overhead_snapshot()
+            client_msgs += snap.get("lease_msgs_sent", 0.0)
+            # The fleet ratio needs raw counts, not per-client ratios:
+            # rpc_total = ratio * ops for each client, summed.
+            ops += snap.get("ops_completed", 0.0)
+            rpcs += (snap.get("messages_per_op", 0.0)
+                     * snap.get("ops_completed", 0.0))
         for agent in system.pool.iter_agents():
-            client_msgs += agent.overhead_snapshot().get("lease_msgs_sent", 0.0)
+            snap = agent.overhead_snapshot()
+            client_msgs += snap.get("lease_msgs_sent", 0.0)
+            ops += snap.get("ops_completed", 0.0)
+            rpcs += (snap.get("messages_per_op", 0.0)
+                     * snap.get("ops_completed", 0.0))
         totals["client_lease_msgs"] = client_msgs
+        totals["messages_per_op"] = rpcs / ops if ops else 0.0
         for sname, value in totals.items():
             record.series[sname]["times"].append(t)
             record.series[sname]["values"].append(value)

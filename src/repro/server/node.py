@@ -18,7 +18,7 @@ from typing import Any, Callable, Dict, Generator, List, Optional, Set, Tuple
 from repro.cluster.takeover import SlotOwnershipError
 from repro.lease.contract import LeaseContract
 from repro.lease.server_lease import ServerLeaseAuthority
-from repro.locks.manager import LockManager
+from repro.locks.manager import GrantPolicy, LockManager, grant_policy
 from repro.locks.modes import LockMode, compatible
 from repro.locks.ranges import ByteRange, RangeLockManager
 from repro.metadata.directory import NamespaceError
@@ -62,6 +62,16 @@ class ServerConfig:
     # the window out-waits every pre-crash lease; the bare default here
     # is only for directly-constructed servers in unit tests.
     recovery_grace: float = 5.0
+    # Intent locking (Lustre DLM, PAPERS.md): accept LOCK_INTENT /
+    # LOCK_BATCH transactions that carry the operation inside the lock
+    # request, executed under the lock about to be granted.  Off by
+    # default: a client of a disabled server gets a NACK and the wire
+    # protocol — and every golden trace hash — is bit-identical.
+    intents: bool = False
+    # Which GrantPolicy shapes intent grants (see repro.locks.manager):
+    # "as-asked" | "batch-adjacent" | "widen-to-extent".  Consulted only
+    # on intent paths, so the default changes nothing with intents off.
+    grant_policy: str = "widen-to-extent"
 
 
 class StorageTankServer:
@@ -112,7 +122,19 @@ class StorageTankServer:
                 on_steal=srv.steal_client, trace=srv.trace, obs=srv.obs)
         self.authority = authority_factory(self)
 
+        self.grant_policy: GrantPolicy = grant_policy(self.config.grant_policy)
+        self.intent_ops = 0          # sub-operations executed under intents
+
         self.recovery = RecoveryManager(self, grace=self.config.recovery_grace)
+        # Deferred-transaction receipt ACKs are sent by the transport
+        # before any handler runs, so _stamp_epoch never sees them; stamp
+        # the epoch at the endpoint instead.  The receipt renews the
+        # requester's lease — without the epoch riding along, a client
+        # parked behind a deferred grant (recovery grace, waiter queue,
+        # takeover wait) holds a live lease but never notices a restart
+        # and misses its reassertion window (§6).
+        self.endpoint.ack_stamp = (
+            lambda: {"__epoch__": self.recovery.epoch})
         # Cluster shard role (ownership gating / takeover); attached by
         # build_system when the installation runs with cluster membership.
         self.cluster = None
@@ -148,7 +170,7 @@ class StorageTankServer:
         # The server's full transaction surface.  RPL006 checks these
         # registrations against the KIND_GROUPS partition: adding a kind
         # to a declared group without a handler fails static analysis.
-        # repro-lint: handles[fs-core, locking, byte-range, lease-null, data-ship, cluster-owner]
+        # repro-lint: handles[fs-core, locking, intent, byte-range, lease-null, data-ship, cluster-owner]
         self._register(MsgKind.CREATE, self._h_create)
         self._register(MsgKind.OPEN, self._h_open)
         self._register(MsgKind.CLOSE, self._h_close)
@@ -162,6 +184,8 @@ class StorageTankServer:
         self._register(MsgKind.LOCK_ACQUIRE, self._h_lock_acquire)
         self._register(MsgKind.LOCK_RELEASE, self._h_lock_release)
         self._register(MsgKind.LOCK_DOWNGRADE, self._h_lock_downgrade)
+        self._register(MsgKind.LOCK_INTENT, self._h_lock_intent)
+        self._register(MsgKind.LOCK_BATCH, self._h_lock_batch)
         self._register(MsgKind.KEEPALIVE, self._h_keepalive)
         self._register(MsgKind.DATA_READ, self._h_data_read)
         self._register(MsgKind.DATA_WRITE, self._h_data_write)
@@ -538,7 +562,7 @@ class StorageTankServer:
         if store.exists(path):
             return ("nack", {"error": "exists"})
         if self._cache_nodes:
-            return self._create_with_barrier(msg, path, size, store)
+            return self._create_with_barrier(path, size, store)
         ino = store.create_file(path, size, now=self.sim.now)
         if self.cluster is not None:
             self.cluster.note_create(ino.file_id, path)
@@ -546,7 +570,7 @@ class StorageTankServer:
                         "attrs": ino.attrs.to_payload(),
                         "extents": extents_to_payload(ino.extents)})
 
-    def _create_with_barrier(self, msg: Message, path: str, size: int,
+    def _create_with_barrier(self, path: str, size: int,
                              store: MetadataStore,
                              ) -> Generator[Event, Any, Tuple[str, Dict[str, Any]]]:
         barrier = self._claim_barrier()
@@ -618,7 +642,7 @@ class StorageTankServer:
         size = msg.payload.get("size")
         store = self._meta_for_file(file_id)
         if self._cache_nodes:
-            return self._setattr_with_barrier(msg, file_id, size, store)
+            return self._setattr_with_barrier(msg.payload, file_id, size, store)
         try:
             if size is not None:
                 ino = store.ensure_size(file_id, int(size), now=self.sim.now)
@@ -630,8 +654,8 @@ class StorageTankServer:
         return ("ack", {"attrs": ino.attrs.to_payload(),
                         "extents": extents_to_payload(ino.extents)})
 
-    def _setattr_with_barrier(self, msg: Message, file_id: int, size: Any,
-                              store: MetadataStore,
+    def _setattr_with_barrier(self, body: Dict[str, Any], file_id: int,
+                              size: Any, store: MetadataStore,
                               ) -> Generator[Event, Any, Tuple[str, Dict[str, Any]]]:
         barrier = self._claim_barrier()
         try:
@@ -643,7 +667,7 @@ class StorageTankServer:
                                             now=self.sim.now)
                 else:
                     ino = store.set_attrs(file_id, now=self.sim.now,
-                                          mode=msg.payload.get("mode"))
+                                          mode=body.get("mode"))
             except NamespaceError as exc:
                 return ("nack", {"error": str(exc)})
             self._trace_mutate("setattr", file_id=file_id,
@@ -753,6 +777,189 @@ class StorageTankServer:
         self.locks.downgrade(msg.src, fid, LockMode(int(msg.payload["to"])))
         return ("ack", {})
 
+    # ------------------------------------------------------------------
+    # intent locking (Lustre DLM style)
+    # ------------------------------------------------------------------
+    def _file_size(self, file_id: int) -> int:
+        """Current size of a file, 0 if unknown (widen-policy input)."""
+        try:
+            return int(self._meta_for_file(file_id).inode(file_id).attrs.size)
+        except (NamespaceError, KeyError):
+            return 0
+
+    def _intent_exec(self, client: str, body: Dict[str, Any],
+                     ) -> Generator[Event, Any, Tuple[str, Dict[str, Any]]]:
+        """Execute one intent sub-operation under the lock it grants.
+
+        This is the server half of the one-round-trip contract: the
+        request names the operation, the server wins the covering lock
+        (demanding it from conflicting holders exactly as the split
+        protocol would) and performs the operation while still holding
+        it, so the reply carries op-result *and* grant together.
+        """
+        op = body.get("op")
+        self.intent_ops += 1
+        if op == "open":
+            path = body["path"]
+            mode = body.get("mode", "r")
+            try:
+                ino = self._meta_for_path(path).lookup(path)
+            except NamespaceError as exc:
+                return ("nack", {"error": str(exc)})
+            wanted = (LockMode.EXCLUSIVE if mode == "w" else LockMode.SHARED)
+            granted = yield from self._grant_lock(client, ino.file_id, wanted)
+            return ("ack", {"file_id": ino.file_id,
+                            "attrs": ino.attrs.to_payload(),
+                            "extents": extents_to_payload(ino.extents),
+                            "lock": int(granted)})
+        if op == "create":
+            path = body["path"]
+            size = int(body.get("size", 0))
+            store = self._meta_for_path(path)
+            if store.exists(path):
+                return ("nack", {"error": "exists"})
+            if self._cache_nodes:
+                result = yield from self._create_with_barrier(path, size, store)
+            else:
+                ino = store.create_file(path, size, now=self.sim.now)
+                if self.cluster is not None:
+                    self.cluster.note_create(ino.file_id, path)
+                result = ("ack", {"file_id": ino.file_id,
+                                  "attrs": ino.attrs.to_payload(),
+                                  "extents": extents_to_payload(ino.extents)})
+            decision, payload = result
+            if decision == "ack":
+                granted = yield from self._grant_lock(
+                    client, int(payload["file_id"]), LockMode.EXCLUSIVE)
+                payload = dict(payload)
+                payload["lock"] = int(granted)
+            return (decision, payload)
+        if op == "getattr":
+            try:
+                if "path" in body:
+                    ino = self._meta_for_path(body["path"]).lookup(body["path"])
+                else:
+                    fid = int(body["file_id"])
+                    ino = self._meta_for_file(fid).inode(fid)
+            except (NamespaceError, KeyError) as exc:
+                return ("nack", {"error": str(exc)})
+            granted = yield from self._grant_lock(client, ino.file_id,
+                                                  LockMode.SHARED)
+            return ("ack", {"file_id": ino.file_id,
+                            "attrs": ino.attrs.to_payload(),
+                            "lock": int(granted)})
+        if op == "setattr":
+            file_id = int(body["file_id"])
+            size = body.get("size")
+            store = self._meta_for_file(file_id)
+            granted = yield from self._grant_lock(client, file_id,
+                                                  LockMode.EXCLUSIVE)
+            if self._cache_nodes:
+                result = yield from self._setattr_with_barrier(
+                    body, file_id, size, store)
+            else:
+                try:
+                    if size is not None:
+                        ino = store.ensure_size(file_id, int(size),
+                                                now=self.sim.now)
+                    else:
+                        ino = store.set_attrs(file_id, now=self.sim.now,
+                                              mode=body.get("mode"))
+                except NamespaceError as exc:
+                    result = ("nack", {"error": str(exc)})
+                else:
+                    result = ("ack",
+                              {"attrs": ino.attrs.to_payload(),
+                               "extents": extents_to_payload(ino.extents)})
+            decision, payload = result
+            if decision == "ack":
+                payload = dict(payload)
+                payload["lock"] = int(granted)
+            return (decision, payload)
+        if op == "range_acquire":
+            file_id = int(body["file_id"])
+            rng = ByteRange(int(body["start"]), int(body["end"]))
+            mode_l = LockMode(int(body["mode"]))
+            wide = self.grant_policy.widen_range(
+                self.range_locks, client, file_id, rng, mode_l,
+                self._file_size(file_id))
+            yield from self._acquire_range(client, file_id, wide, mode_l)
+            return ("ack", {"mode": int(mode_l),
+                            "start": wide.start, "end": wide.end})
+        if op == "range_release":
+            file_id = int(body["file_id"])
+            rng = None
+            if "start" in body:
+                rng = ByteRange(int(body["start"]), int(body["end"]))
+            self.range_locks.release(client, file_id, rng)
+            return ("ack", {})
+        if op == "close":
+            fid = int(body["file_id"])
+            self.closes_by_file[fid] = self.closes_by_file.get(fid, 0) + 1
+            return ("ack", {})
+        return ("nack", {"error": f"unknown intent op {op!r}"})
+
+    def _h_lock_intent(self, msg: Message):
+        if not self.config.intents:
+            return ("nack", {"error": "intents_disabled"})
+        body = msg.payload
+
+        def run() -> Generator[Event, Any, Tuple[str, Dict[str, Any]]]:
+            return (yield from self._intent_exec(msg.src, body))
+        return run()
+
+    def _h_lock_batch(self, msg: Message):
+        """Batched intents: several sub-requests in one datagram.
+
+        Runs of ``range_acquire`` sub-ops on the same file are coalesced
+        through the grant policy before acquisition (one lock-table walk
+        per merged span), then every sub-op gets its own result slot so
+        the client can map grants back to its requests.  Sub-op failures
+        do not abort the batch — each result carries its own ``ok``.
+        """
+        if not self.config.intents:
+            return ("nack", {"error": "intents_disabled"})
+        ops: List[Dict[str, Any]] = list(msg.payload.get("ops", []))
+
+        def run() -> Generator[Event, Any, Tuple[str, Dict[str, Any]]]:
+            results: List[Optional[Dict[str, Any]]] = [None] * len(ops)
+            i = 0
+            while i < len(ops):
+                body = ops[i]
+                if body.get("op") != "range_acquire":
+                    decision, payload = yield from self._intent_exec(
+                        msg.src, body)
+                    results[i] = {"ok": decision == "ack", **payload}
+                    i += 1
+                    continue
+                # Collect the contiguous run of range acquisitions on
+                # this file and coalesce it through the policy.
+                fid = int(body["file_id"])
+                j = i
+                while (j < len(ops)
+                       and ops[j].get("op") == "range_acquire"
+                       and int(ops[j]["file_id"]) == fid):
+                    j += 1
+                requests = [(ByteRange(int(b["start"]), int(b["end"])),
+                             LockMode(int(b["mode"]))) for b in ops[i:j]]
+                merged = self.grant_policy.coalesce(requests)
+                size = self._file_size(fid)
+                spans: List[Tuple[ByteRange, LockMode]] = []
+                for rng, mode_l in merged:
+                    self.intent_ops += 1
+                    wide = self.grant_policy.widen_range(
+                        self.range_locks, msg.src, fid, rng, mode_l, size)
+                    yield from self._acquire_range(msg.src, fid, wide, mode_l)
+                    spans.append((wide, mode_l))
+                for k, (req_rng, req_mode) in enumerate(requests):
+                    span = next((s for s, _ in spans if s.contains(req_rng)),
+                                req_rng)
+                    results[i + k] = {"ok": True, "mode": int(req_mode),
+                                      "start": span.start, "end": span.end}
+                i = j
+            return ("ack", {"results": results})
+        return run()
+
     def _h_data_read(self, msg: Message):
         """Server-marshalled read: the traditional client/server data path
         (experiment E1's baseline).  The server performs the SAN I/O on
@@ -803,27 +1010,33 @@ class StorageTankServer:
         mode = LockMode(int(msg.payload["mode"]))
 
         def run() -> Generator[Event, Any, Tuple[str, Dict[str, Any]]]:
-            if self.cluster is not None:
-                cw = self.cluster.defer_fresh(file_id)
-                if cw is not None:
-                    yield self.sim.process(cw)
-                if not self.cluster.owns_obj(file_id):
-                    raise SlotOwnershipError("wrong_owner")
-            granted, conflicts = self.range_locks.try_acquire(
-                msg.src, file_id, rng, mode)
-            if not granted:
-                ev = self.sim.event()
-                self.range_locks.enqueue_waiter(
-                    msg.src, file_id, rng, mode,
-                    lambda r, m, ev=ev: ev.succeed((r, m)) if not ev.triggered else None)
-                # Probe the conflicting holders: an unreachable holder
-                # must be detected (delivery failure -> suspect -> lease
-                # steal frees its ranges) or the waiter starves.
-                for g in conflicts:
-                    self._spawn_range_probe(g.client, file_id)
-                yield ev
+            yield from self._acquire_range(msg.src, file_id, rng, mode)
             return ("ack", {"mode": int(mode)})
         return run()
+
+    def _acquire_range(self, client: str, file_id: int, rng: ByteRange,
+                       mode: LockMode) -> Generator[Event, Any, None]:
+        """Win a byte-range lock, queueing behind conflicting holders
+        (shared between RANGE_ACQUIRE and the intent/batch paths)."""
+        if self.cluster is not None:
+            cw = self.cluster.defer_fresh(file_id)
+            if cw is not None:
+                yield self.sim.process(cw)
+            if not self.cluster.owns_obj(file_id):
+                raise SlotOwnershipError("wrong_owner")
+        granted, conflicts = self.range_locks.try_acquire(
+            client, file_id, rng, mode)
+        if not granted:
+            ev = self.sim.event()
+            self.range_locks.enqueue_waiter(
+                client, file_id, rng, mode,
+                lambda r, m, ev=ev: ev.succeed((r, m)) if not ev.triggered else None)
+            # Probe the conflicting holders: an unreachable holder
+            # must be detected (delivery failure -> suspect -> lease
+            # steal frees its ranges) or the waiter starves.
+            for g in conflicts:
+                self._spawn_range_probe(g.client, file_id)
+            yield ev
 
     def _spawn_range_probe(self, holder: str, obj: int) -> None:
         key = ("__range__", holder, obj)

@@ -93,6 +93,42 @@ def test_per_object_isolation(mgr):
     assert mgr.try_acquire("b", 2, br(0, 100), LockMode.EXCLUSIVE)[0]
 
 
+# -- extent coalescing ----------------------------------------------------
+
+def test_overlapping_same_mode_grants_merge(mgr):
+    mgr.try_acquire("a", 1, br(0, 60), LockMode.EXCLUSIVE)
+    mgr.try_acquire("a", 1, br(40, 100), LockMode.EXCLUSIVE)
+    holdings = mgr.holdings("a", 1)
+    assert len(holdings) == 1
+    assert holdings[0].rng == br(0, 100)
+    assert holdings[0].mode == LockMode.EXCLUSIVE
+
+
+def test_adjacent_different_modes_stay_split(mgr):
+    mgr.try_acquire("a", 1, br(0, 50), LockMode.EXCLUSIVE)
+    mgr.try_acquire("a", 1, br(50, 100), LockMode.SHARED)
+    modes = sorted((g.rng.start, g.rng.end, g.mode)
+                   for g in mgr.holdings("a", 1))
+    assert modes == [(0, 50, LockMode.EXCLUSIVE),
+                     (50, 100, LockMode.SHARED)]
+
+
+def test_gap_prevents_merge(mgr):
+    mgr.try_acquire("a", 1, br(0, 40), LockMode.EXCLUSIVE)
+    mgr.try_acquire("a", 1, br(60, 100), LockMode.EXCLUSIVE)
+    ranges = sorted((g.rng.start, g.rng.end) for g in mgr.holdings("a", 1))
+    assert ranges == [(0, 40), (60, 100)]
+
+
+def test_merge_then_partial_release_resplits(mgr):
+    mgr.try_acquire("a", 1, br(0, 50), LockMode.EXCLUSIVE)
+    mgr.try_acquire("a", 1, br(50, 100), LockMode.EXCLUSIVE)
+    assert len(mgr.holdings("a", 1)) == 1  # merged
+    mgr.release("a", 1, br(25, 75))
+    ranges = sorted((g.rng.start, g.rng.end) for g in mgr.holdings("a", 1))
+    assert ranges == [(0, 25), (75, 100)]
+
+
 # -- release and split ----------------------------------------------------
 
 def test_full_release_frees(mgr):
@@ -120,6 +156,46 @@ def test_downgrade_range(mgr):
     # b can now share the downgraded half but not the exclusive half.
     assert mgr.try_acquire("b", 1, br(0, 50), LockMode.SHARED)[0]
     assert not mgr.try_acquire("b", 1, br(50, 100), LockMode.SHARED)[0]
+
+
+def test_downgrade_middle_splits_three_ways(mgr):
+    mgr.try_acquire("a", 1, br(0, 100), LockMode.EXCLUSIVE)
+    assert mgr.downgrade("a", 1, br(40, 60), LockMode.SHARED)
+    islands = sorted((g.rng.start, g.rng.end, g.mode)
+                     for g in mgr.holdings("a", 1))
+    assert islands == [(0, 40, LockMode.EXCLUSIVE),
+                       (40, 60, LockMode.SHARED),
+                       (60, 100, LockMode.EXCLUSIVE)]
+    # Only the downgraded middle admits a sharer.
+    assert mgr.try_acquire("b", 1, br(40, 60), LockMode.SHARED)[0]
+    assert not mgr.try_acquire("b", 1, br(0, 40), LockMode.SHARED)[0]
+
+
+def test_downgrade_then_reacquire_remerges(mgr):
+    mgr.try_acquire("a", 1, br(0, 100), LockMode.EXCLUSIVE)
+    mgr.downgrade("a", 1, br(40, 60), LockMode.SHARED)
+    # Re-upgrading the middle heals the split back into one island.
+    assert mgr.try_acquire("a", 1, br(40, 60), LockMode.EXCLUSIVE)[0]
+    holdings = mgr.holdings("a", 1)
+    assert len(holdings) == 1
+    assert holdings[0].rng == br(0, 100)
+    assert holdings[0].mode == LockMode.EXCLUSIVE
+
+
+# -- contention probes -----------------------------------------------------
+
+def test_other_interest_sees_holders_and_waiters(mgr):
+    assert not mgr.other_interest("a", 1)
+    mgr.try_acquire("a", 1, br(0, 100), LockMode.EXCLUSIVE)
+    assert not mgr.other_interest("a", 1)      # only my own grant
+    assert mgr.other_interest("b", 1)          # someone else holds it
+    mgr.enqueue_waiter("c", 1, br(0, 10), LockMode.EXCLUSIVE,
+                       lambda r, m: None)
+    assert mgr.other_interest("a", 1)          # a waiter counts too
+    mgr.release("a", 1)
+    assert mgr.other_interest("a", 1)          # c was promoted to holder
+    mgr.release("c", 1)
+    assert not mgr.other_interest("a", 1)
 
 
 # -- waiters ---------------------------------------------------------------

@@ -170,6 +170,47 @@ def test_deferred_handler_exception_becomes_nack(net_pair):
         run_req(sim, client, "server", "fs.open", {})
 
 
+def test_receipt_ack_carries_ack_stamp(net_pair):
+    """A deferred transaction's receipt ACK merges the node's ack_stamp
+    (servers carry ``__epoch__`` so a parked client still learns about
+    restarts, §6) — including the re-ACK sent for a retried request."""
+    sim, net, server, client = net_pair
+    server.ack_stamp = lambda: {"__epoch__": 7}
+
+    def handler(msg):
+        def work():
+            yield sim.timeout(2.0)
+            return ("ack", {})
+        return work()
+    server.register("fs.open", handler)
+    stamped = []
+    client.ack_listeners.append(
+        lambda msg, _t: stamped.append(msg.payload.get("__epoch__"))
+        if msg.payload.get("__pending__") else None)
+    run_req(sim, client, "server", "fs.open", {},
+            policy=RetryPolicy(timeout=0.5, retries=8))
+    # First receipt ACK and every pending re-ACK answering a retry.
+    assert stamped and all(e == 7 for e in stamped)
+
+
+def test_receipt_ack_without_stamp_adds_no_keys(net_pair):
+    sim, net, server, client = net_pair
+
+    def handler(msg):
+        def work():
+            yield sim.timeout(1.0)
+            return ("ack", {})
+        return work()
+    server.register("fs.open", handler)
+    payloads = []
+    client.ack_listeners.append(
+        lambda msg, _t: payloads.append(dict(msg.payload))
+        if msg.payload.get("__pending__") else None)
+    run_req(sim, client, "server", "fs.open", {})
+    assert payloads
+    assert all(set(p) == {"__pending__", "__ticket__"} for p in payloads)
+
+
 def test_pending_timeout_gives_delivery_error(net_pair):
     sim, net, server, client = net_pair
 

@@ -41,6 +41,7 @@ def test_artifacts_present():
     assert "byz-ignore-expiry-attested-unfence.json" in names
     assert "byz-replay-stale-grant-validated-reassert.json" in names
     assert "byz-suppress-release-demand-escalation.json" in names
+    assert "intent-parked-grant-missed-epoch.json" in names
 
 
 @pytest.mark.parametrize("path", ARTIFACTS,
@@ -58,7 +59,9 @@ def test_artifact_replays_clean_and_bit_identical(path):
 
 def test_reassert_artifact_catches_missed_epoch(monkeypatch):
     """Without the deferred-final epoch hook the pinned schedule still
-    reproduces the double-EXCLUSIVE it was shrunk from."""
+    reproduces the double-EXCLUSIVE it was shrunk from.  The receipt-ACK
+    epoch stamp (a later, redundant carrier for parked transactions)
+    must be knocked out too, or it masks the missing final hook."""
     doc = _load("netcache-reassert-after-server-restart.json")
     schedule = Schedule.from_dict(doc["schedule"])
     build = runner_mod.build_system
@@ -69,9 +72,53 @@ def test_reassert_artifact_catches_missed_epoch(monkeypatch):
             listeners = client.endpoint.result_listeners
             if client._on_epoch in listeners:
                 listeners.remove(client._on_epoch)
+        for server in system.servers.values():
+            server.endpoint.ack_stamp = None
         return system
 
     monkeypatch.setattr(runner_mod, "build_system", build_without_hook)
+    result = run_schedule(schedule)
+    assert not result.ok
+    assert "lock-compatibility" in result.oracle_names()
+
+
+def test_parked_grant_artifact_catches_unstamped_receipt_acks(monkeypatch):
+    """Without the epoch stamp on deferred-transaction receipt ACKs the
+    pinned schedule reproduces its double-EXCLUSIVE: the receipt renews
+    the parked client's lease, so it never notices the restart and
+    misses the reassertion grace window."""
+    doc = _load("intent-parked-grant-missed-epoch.json")
+    schedule = Schedule.from_dict(doc["schedule"])
+    build = runner_mod.build_system
+
+    def build_without_stamp(cfg):
+        system = build(cfg)
+        for server in system.servers.values():
+            server.endpoint.ack_stamp = None
+        return system
+
+    monkeypatch.setattr(runner_mod, "build_system", build_without_stamp)
+    result = run_schedule(schedule)
+    assert not result.ok
+    assert "lock-compatibility" in result.oracle_names()
+
+
+def test_parked_grant_artifact_fires_in_both_protocol_variants(monkeypatch):
+    """The hole predates intent locking: the same knock-out fires the
+    same oracle with the split protocol (the intent fuzz dimension just
+    drew the seed that exposed it)."""
+    doc = _load("intent-parked-grant-missed-epoch.json")
+    schedule = dataclasses.replace(
+        Schedule.from_dict(doc["schedule"]), intents=False)
+    build = runner_mod.build_system
+
+    def build_without_stamp(cfg):
+        system = build(cfg)
+        for server in system.servers.values():
+            server.endpoint.ack_stamp = None
+        return system
+
+    monkeypatch.setattr(runner_mod, "build_system", build_without_stamp)
     result = run_schedule(schedule)
     assert not result.ok
     assert "lock-compatibility" in result.oracle_names()
